@@ -1,0 +1,30 @@
+"""Benchmark-suite configuration.
+
+Each module regenerates one of the paper's tables or figures via the
+``repro.experiments`` runners, prints the same rows/series the paper
+reports, asserts the qualitative *shape* (who wins, roughly by how much,
+where crossovers fall), and times the run with pytest-benchmark.
+
+Heavy sweeps run at reduced scale by default; set REPRO_BENCH_FULL=1 in
+the environment for paper-scale parameters.
+"""
+
+from __future__ import annotations
+
+import os
+
+import pytest
+
+
+def full_scale() -> bool:
+    return os.environ.get("REPRO_BENCH_FULL", "0") == "1"
+
+
+@pytest.fixture(scope="session")
+def bench_scale() -> dict:
+    """Shared scale knobs for the heavy trace-driven figures."""
+    if full_scale():
+        return {"scale_divisor": 32, "num_records": 600_000,
+                "aging_blocks": 16, "aging_frames": 8}
+    return {"scale_divisor": 64, "num_records": 120_000,
+            "aging_blocks": 8, "aging_frames": 4}

@@ -1,0 +1,170 @@
+"""Ablation benches for the design choices DESIGN.md calls out.
+
+Each ablation sweeps one policy knob of the Flash disk cache and reports
+the metric it trades, confirming the paper's chosen defaults sit in a
+sensible spot.
+"""
+
+from __future__ import annotations
+
+from repro.core.cache import FlashCacheConfig, FlashDiskCache
+from repro.core.controller import ControllerConfig, \
+    ProgrammableFlashController
+from repro.core.tables import FlashCacheHashTable
+from repro.flash.device import FlashDevice
+from repro.flash.geometry import FlashGeometry
+from repro.workloads.macro import build_workload
+from repro.workloads.postpdc import derive_disk_trace
+
+
+def _make_cache(**config_kwargs) -> FlashDiskCache:
+    geometry = FlashGeometry(frames_per_block=8, num_blocks=64)
+    device = FlashDevice(geometry=geometry)
+    controller = ProgrammableFlashController(device)
+    config_kwargs.setdefault("hot_promotion", False)
+    return FlashDiskCache(controller, FlashCacheConfig(**config_kwargs))
+
+
+def _disk_trace(num_records=120_000, seed=31):
+    raw = build_workload("dbt2", num_records=num_records, seed=seed,
+                         footprint_pages=16_384)
+    return derive_disk_trace(raw, pdc_pages=2048)
+
+
+def _replay(cache, records):
+    for record in records:
+        for page in record.expand():
+            if record.is_read:
+                if cache.read(page) is None:
+                    cache.insert_clean(page)
+            else:
+                cache.write(page)
+
+
+def test_ablation_split_fraction(benchmark):
+    """Sweep the read/write split around the paper's 90/10 choice."""
+    records = _disk_trace()
+
+    def sweep():
+        results = {}
+        for fraction in (0.5, 0.7, 0.9, 0.97):
+            cache = _make_cache(split=True, read_fraction=fraction)
+            _replay(cache, records)
+            results[fraction] = cache.stats.miss_rate
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: read-region fraction -> miss rate")
+    for fraction, miss in sorted(results.items()):
+        print(f"  {fraction:4.0%}: {miss:7.3%}")
+    # The paper's 90% sits at or near the sweep's best.
+    best = min(results.values())
+    assert results[0.9] <= best * 1.15
+
+
+def test_ablation_wear_threshold(benchmark):
+    """Lower swap thresholds spread erases more evenly but cost extra
+    migrations (section 3.6's trade)."""
+    records = _disk_trace(num_records=60_000)
+
+    def sweep():
+        results = {}
+        for threshold in (2.0, 64.0, 1e9):
+            cache = _make_cache(split=True, wear_threshold=threshold)
+            _replay(cache, records)
+            device = cache.controller.device
+            counts = [device.erase_count(block) for block in range(64)]
+            spread = max(counts) - min(counts)
+            results[threshold] = (cache.stats.wear_swaps, spread)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: wear threshold -> (swaps, erase spread)")
+    for threshold, (swaps, spread) in sorted(results.items()):
+        print(f"  {threshold:10.0f}: swaps={swaps:5d} spread={spread}")
+    # Disabling wear-leveling (huge threshold) performs zero swaps.
+    assert results[1e9][0] == 0
+    # Aggressive leveling swaps at least as often as the default.
+    assert results[2.0][0] >= results[64.0][0]
+
+
+def test_ablation_fcht_buckets(benchmark):
+    """Section 3.1: ~100 indexable entries reach maximum throughput —
+    beyond that, bigger tables stop helping lookup latency much."""
+
+    def sweep():
+        results = {}
+        for buckets in (1, 16, 128, 1024, 8192):
+            table = FlashCacheHashTable(buckets=buckets)
+            from repro.flash.geometry import PageAddress
+            for lba in range(8192):
+                table.insert(lba, PageAddress(0, 0, 0))
+            results[buckets] = table.lookup_cost_us()
+        return results
+
+    results = benchmark(sweep)
+    print("\nAblation: FCHT buckets -> lookup cost (us)")
+    for buckets, cost in sorted(results.items()):
+        print(f"  {buckets:5d}: {cost:.3f}")
+    costs = [results[b] for b in sorted(results)]
+    assert costs == sorted(costs, reverse=True)
+    # Diminishing returns: the 128 -> 8192 step saves far less than 1 -> 128.
+    assert (results[1] - results[128]) > 10 * (results[128] - results[8192])
+
+
+def test_ablation_hot_promotion(benchmark):
+    """SLC promotion trades capacity for hit latency on skewed reads."""
+    # Raw (not PDC-filtered) trace: hot promotion triggers on repeated
+    # *Flash* reads, so the cache must see the skewed read stream itself.
+    records = build_workload("exp2", num_records=30_000, seed=9,
+                             footprint_pages=16_384, read_fraction=0.98)
+
+    def run(promote):
+        config = ControllerConfig(counter_max=8)
+        geometry = FlashGeometry(frames_per_block=8, num_blocks=64)
+        device = FlashDevice(geometry=geometry)
+        controller = ProgrammableFlashController(device, config=config)
+        cache = FlashDiskCache(controller, FlashCacheConfig(
+            hot_promotion=promote))
+        _replay(cache, records)
+        hits = cache.stats.read_hits
+        latency = (cache.controller.fgst.avg_hit_latency_us, hits,
+                   cache.stats.slc_promotions)
+        return latency
+
+    def sweep():
+        return {"off": run(False), "on": run(True)}
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: hot promotion -> (avg hit latency us, hits, promos)")
+    for key, (latency, hits, promos) in results.items():
+        print(f"  {key:3s}: latency={latency:7.2f} hits={hits} "
+              f"promotions={promos}")
+    off_latency, _, off_promos = results["off"]
+    on_latency, _, on_promos = results["on"]
+    assert off_promos == 0
+    assert on_promos > 0
+    # Promoted hot pages read at SLC speed: average hit latency drops.
+    assert on_latency < off_latency
+
+
+def test_ablation_gc_budget(benchmark):
+    """The GC bandwidth budget trades copy traffic for eviction losses."""
+    records = _disk_trace(num_records=60_000)
+
+    def sweep():
+        results = {}
+        for budget in (0.0, 1.0, None):
+            cache = _make_cache(split=True, gc_move_budget=budget)
+            _replay(cache, records)
+            key = "inf" if budget is None else str(budget)
+            results[key] = (cache.stats.gc_page_moves,
+                            cache.stats.miss_rate)
+        return results
+
+    results = benchmark.pedantic(sweep, rounds=1, iterations=1)
+    print("\nAblation: GC budget -> (page moves, miss rate)")
+    for key, (moves, miss) in results.items():
+        print(f"  {key:4s}: moves={moves:7d} miss={miss:7.3%}")
+    assert results["0.0"][0] == 0
+    assert results["inf"][0] >= results["1.0"][0]

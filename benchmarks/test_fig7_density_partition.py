@@ -1,0 +1,45 @@
+"""Figure 7: optimal SLC/MLC partition and access latency vs die area."""
+
+from __future__ import annotations
+
+from repro.experiments.fig7_density import run_density_partition
+
+
+def test_fig7_financial2(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_density_partition("financial2"), rounds=1, iterations=1)
+
+    print(f"\nFigure 7(a) financial2 (WSS {series.working_set_mb:.1f}MB):")
+    for point in series.points:
+        print(f"  {point.die_area_mm2:7.1f}mm^2: "
+              f"SLC={point.optimal_slc_fraction:4.0%} "
+              f"latency={point.average_latency_us:8.1f}us")
+
+    latencies = [p.average_latency_us for p in series.points]
+    assert latencies == sorted(latencies, reverse=True)
+    # Paper: ~70% SLC optimal at roughly half the working set.
+    half = series.points[3]  # area fraction 0.50
+    assert half.optimal_slc_fraction > 0.5
+    # Latency bottoms out at the 25us SLC floor once the die is large.
+    assert latencies[-1] < 26.0
+
+
+def test_fig7_websearch1(benchmark):
+    series = benchmark.pedantic(
+        lambda: run_density_partition("websearch1"), rounds=1, iterations=1)
+
+    print(f"\nFigure 7(b) websearch1 (WSS {series.working_set_mb:.1f}MB):")
+    for point in series.points:
+        print(f"  {point.die_area_mm2:7.1f}mm^2: "
+              f"SLC={point.optimal_slc_fraction:4.0%} "
+              f"latency={point.average_latency_us:8.1f}us")
+
+    # Paper: "almost all the cells are MLC for a Flash size that is
+    # approximately half the working set size".
+    half = series.points[3]
+    assert half.optimal_slc_fraction < 0.15
+    # With the die covering the full working set in SLC terms, the optimum
+    # flips to (nearly) pure SLC at the latency floor.
+    biggest = series.points[-2]  # area fraction 2.0
+    assert biggest.average_latency_us < 26.0
+    assert biggest.optimal_slc_fraction > 0.8

@@ -1,0 +1,110 @@
+"""Tables 1-4: constants and benchmark-suite regeneration.
+
+These benches print the paper's data tables from the library's constants
+and generators, asserting the values the rest of the reproduction builds
+on.
+"""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.flash.timing import (
+    ITRS_ROADMAP,
+    DEFAULT_DISK_TIMING,
+    DEFAULT_DRAM_POWER,
+    DEFAULT_DRAM_TIMING,
+    DEFAULT_FLASH_POWER,
+    DEFAULT_FLASH_TIMING,
+    MLC_ENDURANCE_CYCLES,
+    SLC_ENDURANCE_CYCLES,
+)
+from repro.sim.config import TABLE3_PLATFORM
+from repro.workloads.macro import ALL_WORKLOAD_NAMES, build_workload
+from repro.workloads.trace import summarize
+
+
+def test_table1_itrs_roadmap(benchmark):
+    """Table 1: ITRS 2007 roadmap rows."""
+    def regenerate():
+        rows = []
+        for year, entry in sorted(ITRS_ROADMAP.items()):
+            rows.append((year, entry.nand_slc_um2_per_bit,
+                         entry.nand_mlc_um2_per_bit, entry.dram_um2_per_bit))
+        return rows
+
+    rows = benchmark(regenerate)
+    assert [year for year, *_ in rows] == [2007, 2009, 2011, 2013, 2015]
+    # Headline: MLC NAND reaches ~8x DRAM density by 2015 (section 2.1).
+    assert ITRS_ROADMAP[2015].mlc_density_advantage_over_dram >= 7.0
+    # SLC/MLC endurance gap is 10x in the platform years.
+    assert SLC_ENDURANCE_CYCLES == 10 * MLC_ENDURANCE_CYCLES
+    print("\nTable 1 (um^2/bit):")
+    for year, slc, mlc, dram in rows:
+        print(f"  {year}: SLC={slc} MLC={mlc} DRAM={dram}")
+
+
+def test_table2_device_characteristics(benchmark):
+    """Table 2: latency/power of DRAM, SLC/MLC NAND, and the disk."""
+    def regenerate():
+        return {
+            "dram_active_w": DEFAULT_DRAM_POWER.active_w,
+            "dram_idle_w": DEFAULT_DRAM_POWER.idle_active_w,
+            "dram_access_ns": DEFAULT_DRAM_TIMING.access_ns,
+            "slc_read_us": DEFAULT_FLASH_TIMING.slc_read_us,
+            "slc_write_us": DEFAULT_FLASH_TIMING.slc_write_us,
+            "slc_erase_us": DEFAULT_FLASH_TIMING.slc_erase_us,
+            "mlc_read_us": DEFAULT_FLASH_TIMING.mlc_read_us,
+            "mlc_write_us": DEFAULT_FLASH_TIMING.mlc_write_us,
+            "mlc_erase_us": DEFAULT_FLASH_TIMING.mlc_erase_us,
+            "flash_active_w": DEFAULT_FLASH_POWER.active_w,
+        }
+
+    table = benchmark(regenerate)
+    assert table["dram_active_w"] == 0.878
+    assert table["dram_access_ns"] == 55.0
+    assert (table["slc_read_us"], table["slc_write_us"],
+            table["slc_erase_us"]) == (25.0, 200.0, 1500.0)
+    assert (table["mlc_read_us"], table["mlc_write_us"],
+            table["mlc_erase_us"]) == (50.0, 680.0, 3300.0)
+    assert table["flash_active_w"] == 0.027
+    print("\nTable 2:", table)
+
+
+def test_table3_platform_configuration(benchmark):
+    """Table 3: the simulated platform."""
+    platform = benchmark(lambda: TABLE3_PLATFORM)
+    assert platform.processor_cores == 8
+    assert platform.dram_bytes_min == 128 << 20
+    assert platform.flash_bytes_min == 256 << 20
+    assert platform.disk.average_access_ms == 4.2
+    print(f"\nTable 3: cores={platform.processor_cores} "
+          f"dram={platform.dram_bytes_min >> 20}-"
+          f"{platform.dram_bytes_max >> 20}MB "
+          f"flash={platform.flash_bytes_min >> 20}MB-"
+          f"{platform.flash_bytes_max >> 30}GB "
+          f"bch={platform.bch_latency_min_us}-"
+          f"{platform.bch_latency_max_us}us")
+
+
+def test_table4_benchmark_suite(benchmark):
+    """Table 4: every workload instantiates with its published profile."""
+    def regenerate():
+        rows = []
+        for name in ALL_WORKLOAD_NAMES:
+            records = build_workload(name, num_records=2000,
+                                     footprint_pages=8192, seed=1)
+            stats = summarize(records)
+            rows.append((name, stats.read_fraction, stats.footprint_pages))
+        return rows
+
+    rows = benchmark(regenerate)
+    assert len(rows) == 12
+    by_name = {name: read_fraction for name, read_fraction, _ in rows}
+    assert by_name["specweb99"] > 0.95      # web serving is read-dominated
+    assert by_name["financial1"] < 0.4      # Financial1 is write-heavy
+    assert 0.5 < by_name["dbt2"] < 0.8      # OLTP mix
+    print("\nTable 4:")
+    for name, read_fraction, footprint in rows:
+        print(f"  {name:12s} reads={read_fraction:5.1%} "
+              f"touched={footprint} pages")

@@ -1,0 +1,53 @@
+#!/usr/bin/env python
+"""Density partitioning: how much of a Flash die should run in SLC mode?
+
+For a workload you describe by footprint and popularity skew, sweeps the
+Flash die area and reports the latency-optimal SLC/MLC partition at each
+point (the Figure 7 analysis as a reusable tool).  Try editing WORKLOADS
+to model your own cache: a short-tailed OLTP workload wants SLC early; a
+huge flat working set wants MLC capacity until the die covers it.
+
+Run:
+    python examples/density_partitioning.py
+"""
+
+from __future__ import annotations
+
+from repro import DensityPartitionOptimizer
+from repro.workloads.synthetic import (
+    ExponentialPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+)
+
+FOOTPRINT_PAGES = 1 << 16  # 128MB of 2KB pages
+
+WORKLOADS = {
+    "oltp-hotset (exp, lam=1e-3)": ExponentialPopularity(
+        FOOTPRINT_PAGES, lam=1e-3),
+    "web (zipf, alpha=1.1)": ZipfPopularity(FOOTPRINT_PAGES, alpha=1.1),
+    "scan-heavy (uniform)": UniformPopularity(FOOTPRINT_PAGES),
+}
+
+AREA_FRACTIONS = (0.1, 0.25, 0.5, 1.0, 2.0)
+
+
+def main() -> None:
+    for name, distribution in WORKLOADS.items():
+        optimizer = DensityPartitionOptimizer(distribution)
+        full_area = optimizer.working_set_area_mm2
+        print(f"\n{name}  (working set = {full_area:.1f} mm^2 as pure MLC)")
+        print(f"  {'die area':>10} {'optimal SLC':>12} {'latency':>10}")
+        for fraction in AREA_FRACTIONS:
+            point = optimizer.optimize(full_area * fraction, grid_points=41)
+            print(f"  {point.die_area_mm2:>8.1f}mm2 "
+                  f"{point.optimal_slc_fraction:>11.0%} "
+                  f"{point.average_latency_us:>8.1f}us")
+    print("\nReading the sweep: SLC halves read latency but doubles area "
+          "per bit, so the optimizer only buys it once capacity stops "
+          "paying — early for hot-set workloads, at full working-set "
+          "coverage for flat ones.")
+
+
+if __name__ == "__main__":
+    main()

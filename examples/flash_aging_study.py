@@ -1,0 +1,47 @@
+#!/usr/bin/env python
+"""Aging study: how the programmable controller stretches Flash lifetime.
+
+Ages a Flash disk cache to total failure under several Table 4 workloads,
+once with the paper's programmable controller (variable BCH strength +
+MLC->SLC density reduction) and once with a conventional fixed BCH-1
+controller, then reports the lifetime extension and which repair the
+programmable policy favoured per workload — Figures 11 and 12 as a script.
+
+Run:
+    python examples/flash_aging_study.py
+"""
+
+from __future__ import annotations
+
+from statistics import mean
+
+from repro import simulate_lifetime
+
+WORKLOADS = ("uniform", "alpha2", "exp1", "websearch1", "financial2")
+
+
+def main() -> None:
+    print(f"{'workload':<12}{'BCH-1 accesses':>16}{'programmable':>16}"
+          f"{'gain':>8}   repair mix (near first failures)")
+    gains = []
+    for workload in WORKLOADS:
+        fixed = simulate_lifetime(workload, "bch1")
+        programmable = simulate_lifetime(workload, "programmable")
+        gain = (programmable.host_accesses_to_failure
+                / fixed.host_accesses_to_failure)
+        gains.append(gain)
+        mix = programmable.early_reconfig_breakdown
+        print(f"{workload:<12}"
+              f"{fixed.host_accesses_to_failure:>16.2e}"
+              f"{programmable.host_accesses_to_failure:>16.2e}"
+              f"{gain:>7.1f}x"
+              f"   ECC {mix['code_strength']:4.0%} / "
+              f"density {mix['density']:4.0%}")
+    print(f"\naverage lifetime extension: {mean(gains):.1f}x "
+          "(paper: 'a factor of 20 on average')")
+    print("Long-tailed workloads lean on stronger ECC (capacity is "
+          "precious); short-tailed ones switch hot pages to SLC.")
+
+
+if __name__ == "__main__":
+    main()

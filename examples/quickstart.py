@@ -1,0 +1,80 @@
+#!/usr/bin/env python
+"""Quickstart: put a Flash disk cache under a DRAM page cache and measure.
+
+Builds the paper's two platforms (Figure 2) at laptop scale, runs the same
+OLTP trace through both, and prints the side-by-side latency, miss-rate,
+and power comparison — the one-minute version of the paper's argument.
+
+Run:
+    python examples/quickstart.py
+"""
+
+from __future__ import annotations
+
+from repro import (
+    DramOnlySystem,
+    SystemConfig,
+    build_flash_system,
+    build_workload,
+    run_trace,
+)
+
+# Scaled-down capacities (the paper's 512MB/256MB+1GB pair, divided by 64
+# so the run finishes in seconds).
+SCALE = 64
+DRAM_ONLY_BYTES = (512 << 20) // SCALE
+FLASH_DRAM_BYTES = (256 << 20) // SCALE
+FLASH_BYTES = (1 << 30) // SCALE
+FOOTPRINT_PAGES = (2 << 30) // SCALE // 2048  # dbt2's 2GB database
+
+
+def main() -> None:
+    trace = build_workload("dbt2", num_records=100_000,
+                           footprint_pages=FOOTPRINT_PAGES, seed=42)
+
+    print("Running DRAM-only baseline ...")
+    baseline = DramOnlySystem(SystemConfig(
+        dram_bytes=DRAM_ONLY_BYTES,
+        power_model_dram_bytes=512 << 20))
+    baseline_report = run_trace(baseline, trace)
+
+    print("Running DRAM + Flash disk cache ...")
+    flash_system = build_flash_system(
+        dram_bytes=FLASH_DRAM_BYTES,
+        flash_bytes=FLASH_BYTES,
+        power_model_dram_bytes=256 << 20)
+    flash_report = run_trace(flash_system, trace)
+
+    print()
+    print(f"{'metric':<28}{'DRAM-only':>14}{'DRAM+Flash':>14}")
+    rows = [
+        ("avg request latency (us)",
+         f"{baseline_report.average_latency_us:.1f}",
+         f"{flash_report.average_latency_us:.1f}"),
+        ("PDC miss rate",
+         f"{baseline_report.pdc.miss_rate:.1%}",
+         f"{flash_report.pdc.miss_rate:.1%}"),
+        ("Flash cache miss rate", "-",
+         f"{flash_report.flash_miss_rate:.1%}"),
+        ("disk reads",
+         str(baseline_report.disk_reads), str(flash_report.disk_reads)),
+        ("memory+disk power (W)",
+         f"{baseline_report.power.total_w:.2f}",
+         f"{flash_report.power.total_w:.2f}"),
+        ("throughput (req/s)",
+         f"{baseline_report.throughput_rps:.0f}",
+         f"{flash_report.throughput_rps:.0f}"),
+    ]
+    for label, base, flash in rows:
+        print(f"{label:<28}{base:>14}{flash:>14}")
+
+    stats = flash_system.flash.stats
+    print()
+    print("Flash cache internals: "
+          f"{stats.read_hits} hits, {stats.gc_runs} GC passes, "
+          f"{stats.read_evictions + stats.write_evictions} block evictions, "
+          f"{stats.wear_swaps} wear-level swaps")
+
+
+if __name__ == "__main__":
+    main()

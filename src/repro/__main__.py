@@ -1,0 +1,92 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands
+--------
+
+``experiments``            list the available figure runners
+``fig1b`` .. ``fig12``     print one figure's rows (same output as the
+                           ``repro.experiments.*`` module mains)
+``report``                 run the whole evaluation, print markdown
+``profile <trace.spc>``    characterise a (UMass SPC) disk trace
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+
+from .experiments import (
+    fig1b_gc,
+    fig4_split,
+    fig6_ecc,
+    fig7_density,
+    fig9_power,
+    fig10_ecc_throughput,
+    fig11_reconfig,
+    fig12_lifetime,
+)
+from .experiments.report import ReportScale, generate_report
+from .workloads.analysis import profile_trace
+from .workloads.trace import records_from_spc_file
+
+_FIGURES = {
+    "fig1b": fig1b_gc.main,
+    "fig4": fig4_split.main,
+    "fig6": fig6_ecc.main,
+    "fig7": fig7_density.main,
+    "fig9": fig9_power.main,
+    "fig10": fig10_ecc_throughput.main,
+    "fig11": fig11_reconfig.main,
+    "fig12": fig12_lifetime.main,
+}
+
+
+def _build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="Reproduction of 'Improving NAND Flash Based Disk "
+                    "Caches' (ISCA 2008)")
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    sub.add_parser("experiments", help="list figure runners")
+    for name in _FIGURES:
+        sub.add_parser(name, help=f"regenerate {name}")
+
+    report = sub.add_parser("report", help="run the full evaluation")
+    report.add_argument("--scale", choices=("quick", "default", "full"),
+                        default="default")
+    report.add_argument("--sections", nargs="*", default=None,
+                        help="subset of sections (e.g. fig4 fig12)")
+
+    profile = sub.add_parser("profile", help="characterise an SPC trace")
+    profile.add_argument("path")
+    profile.add_argument("--limit", type=int, default=None,
+                         help="read at most N records")
+    return parser
+
+
+def main(argv: list[str] | None = None) -> int:
+    args = _build_parser().parse_args(argv)
+
+    if args.command == "experiments":
+        for name in _FIGURES:
+            print(name)
+        return 0
+    if args.command in _FIGURES:
+        _FIGURES[args.command]()
+        return 0
+    if args.command == "report":
+        scale = {"quick": ReportScale.quick(),
+                 "default": ReportScale(),
+                 "full": ReportScale.full()}[args.scale]
+        print(generate_report(scale=scale, sections=args.sections))
+        return 0
+    if args.command == "profile":
+        records = records_from_spc_file(args.path, limit=args.limit)
+        print(profile_trace(records).summary())
+        return 0
+    return 1
+
+
+if __name__ == "__main__":
+    sys.exit(main())

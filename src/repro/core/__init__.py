@@ -1,0 +1,75 @@
+"""The paper's primary contribution: the Flash based disk cache, its
+programmable memory controller, the management tables, the SLC/MLC
+partition optimizer, and the two full storage hierarchies of Figure 2."""
+
+from .tables import (
+    ACCESS_COUNTER_MAX,
+    FPSTEntry,
+    FlashPageStatusTable,
+    FBSTEntry,
+    FlashBlockStatusTable,
+    FlashGlobalStatus,
+    FlashCacheHashTable,
+    metadata_overhead_bytes,
+)
+from .controller import (
+    ReconfigKind,
+    PageDescriptor,
+    ControllerConfig,
+    ControllerReadResult,
+    ControllerStats,
+    ProgrammableFlashController,
+    FixedEccController,
+)
+from .cache import (
+    Region,
+    FlashCacheConfig,
+    CacheStats,
+    FlashReadOutcome,
+    WriteOutcome,
+    FlashDiskCache,
+)
+from .density import (
+    DensityPartitionPoint,
+    DensityPartitionOptimizer,
+    die_area_for_capacity_mm2,
+)
+from .hierarchy import (
+    SystemConfig,
+    RequestStats,
+    DramOnlySystem,
+    FlashBackedSystem,
+    build_flash_system,
+)
+
+__all__ = [
+    "ACCESS_COUNTER_MAX",
+    "FPSTEntry",
+    "FlashPageStatusTable",
+    "FBSTEntry",
+    "FlashBlockStatusTable",
+    "FlashGlobalStatus",
+    "FlashCacheHashTable",
+    "metadata_overhead_bytes",
+    "ReconfigKind",
+    "PageDescriptor",
+    "ControllerConfig",
+    "ControllerReadResult",
+    "ControllerStats",
+    "ProgrammableFlashController",
+    "FixedEccController",
+    "Region",
+    "FlashCacheConfig",
+    "CacheStats",
+    "FlashReadOutcome",
+    "WriteOutcome",
+    "FlashDiskCache",
+    "DensityPartitionPoint",
+    "DensityPartitionOptimizer",
+    "die_area_for_capacity_mm2",
+    "SystemConfig",
+    "RequestStats",
+    "DramOnlySystem",
+    "FlashBackedSystem",
+    "build_flash_system",
+]

@@ -1,0 +1,706 @@
+"""The Flash based disk cache (paper sections 3 and 5.1).
+
+This is the secondary disk cache that sits between the DRAM primary disk
+cache and the hard drive.  The headline design points reproduced here:
+
+* **Split read/write regions** (section 3.5).  The Flash is divided into a
+  read disk cache (default 90% of blocks) and a write disk cache (10%).
+  All writes are out-of-place appends into the write region's log, so
+  write-triggered garbage collection only ever considers the small write
+  region; the read region keeps its capacity full of valid pages and only
+  recycles blocks on read misses.  A ``split=False`` configuration gives
+  the unified baseline of Figure 4, where writes punch invalid holes
+  across the whole cache.
+* **Out-of-place writes and garbage collection** (sections 2.2, 5.1).
+  Pages program once per erase cycle, so updates append and invalidate.
+  GC copies a victim block's valid pages into a reserve block, erases the
+  victim, and rotates it in as the new reserve; it is only worthwhile
+  while the region holds at least a block's worth of invalid pages —
+  otherwise the LRU block is evicted outright (flushing dirty pages to
+  disk when the victim is in the write region).  GC also compacts the
+  read region when write-invalidations drop its valid capacity under the
+  90% watermark.  All GC work runs in the background and is accounted
+  separately (Figure 1(b) measures its time overhead).
+* **Wear-level-aware replacement** (section 3.6).  Victims start as the
+  region's LRU block; if the victim's FBST wear-out exceeds the globally
+  newest block's by a threshold, the newest block's content migrates into
+  the (erased) victim and the newest block is recycled instead — blocks
+  swap region ownership so capacity is preserved while erases spread.
+* **Hot-page SLC promotion** (section 5.2.2).  When a page's FPST access
+  counter saturates in MLC mode, the page migrates to an SLC-formatted
+  block, trading half a frame of capacity for half the read latency.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import OrderedDict, deque
+from dataclasses import dataclass, field
+from typing import Deque, Dict, List, Optional, Set, Tuple
+
+from ..flash.geometry import PageAddress
+from ..flash.timing import CellMode
+from .controller import ControllerReadResult, ProgrammableFlashController
+from .tables import FlashCacheHashTable
+
+__all__ = [
+    "Region",
+    "FlashCacheConfig",
+    "CacheStats",
+    "FlashReadOutcome",
+    "WriteOutcome",
+    "FlashDiskCache",
+]
+
+
+class Region(enum.Enum):
+    """Which disk-cache region a block belongs to."""
+
+    READ = "read"
+    WRITE = "write"
+    UNIFIED = "unified"
+
+
+@dataclass(frozen=True)
+class FlashCacheConfig:
+    """Policy knobs of the Flash based disk cache."""
+
+    split: bool = True
+    read_fraction: float = 0.9          # section 3.5: 90% read / 10% write
+    gc_read_watermark: float = 0.90     # section 5.1 read-region GC trigger
+    wear_threshold: float = 64.0        # section 3.6 swap threshold
+    fcht_buckets: int = 128
+    hot_promotion: bool = True
+    #: True (disk-cache semantics): when GC cannot free a whole block the
+    #: LRU block is simply evicted.  False models the Flash-as-disk / SSD
+    #: setting of section 2.2 (and Figure 1(b)), where every page is
+    #: precious and garbage collection is the only way to reclaim space.
+    allow_eviction_for_space: bool = True
+    #: Format write-region blocks as SLC when they are opened: the write
+    #: log is the hottest, most rewritten Flash real estate, so trading
+    #: half its capacity for the 200us (vs 680us) program and 1.5ms (vs
+    #: 3.3ms) erase is the density controller's section 4.2 play applied
+    #: statically.
+    write_region_slc: bool = False
+    #: Background GC bandwidth, in page moves of credit earned per
+    #: foreground cache operation; ``None`` = unlimited.  GC runs "in the
+    #: background" (section 5.1), so it can only spend device idle time —
+    #: when a GC pass would need more moves than the accrued credit the
+    #: cache falls back to evicting, losing cached data.  This is the
+    #: mechanism behind the paper's observation that out-of-place writes
+    #: "increase the garbage collection overhead which in turn increases
+    #: the number of overall disk cache misses" (section 3.5), and the
+    #: split design's remedy of shrinking the blocks GC must consider.
+    gc_move_budget: Optional[float] = None
+
+    def __post_init__(self) -> None:
+        if not 0.0 < self.read_fraction < 1.0:
+            raise ValueError("read_fraction must be in (0, 1)")
+        if not 0.0 < self.gc_read_watermark <= 1.0:
+            raise ValueError("gc_read_watermark must be in (0, 1]")
+        if self.wear_threshold <= 0:
+            raise ValueError("wear_threshold must be positive")
+
+
+@dataclass
+class CacheStats:
+    """Cache-level counters; GC activity is tracked separately because the
+    paper charges it to the background, not to requests."""
+
+    read_hits: int = 0
+    read_misses: int = 0
+    writes: int = 0
+    write_region_hits: int = 0
+    invalidations: int = 0
+    fills: int = 0
+    read_evictions: int = 0
+    write_evictions: int = 0
+    flushed_pages: int = 0
+    gc_runs: int = 0
+    gc_page_moves: int = 0
+    gc_time_us: float = 0.0
+    foreground_time_us: float = 0.0
+    wear_swaps: int = 0
+    slc_promotions: int = 0
+    uncorrectable: int = 0
+
+    @property
+    def read_miss_rate(self) -> float:
+        total = self.read_hits + self.read_misses
+        return self.read_misses / total if total else 0.0
+
+    @property
+    def miss_rate(self) -> float:
+        """Overall miss rate: read misses over all cache accesses (writes
+        always 'hit' the log, so reads carry the miss signal)."""
+        total = self.read_hits + self.read_misses + self.writes
+        return self.read_misses / total if total else 0.0
+
+    @property
+    def gc_overhead(self) -> float:
+        """GC time relative to foreground cache service time (Fig 1(b))."""
+        if self.foreground_time_us == 0.0:
+            return 0.0
+        return self.gc_time_us / self.foreground_time_us
+
+
+@dataclass(frozen=True)
+class FlashReadOutcome:
+    """Result of a Flash cache read hit."""
+
+    latency_us: float
+    recovered: bool
+
+
+@dataclass(frozen=True)
+class WriteOutcome:
+    """Result of a write into the cache.
+
+    ``flushed_lbas`` are dirty pages pushed to disk by a write-region
+    eviction; the hierarchy layer schedules the actual disk writes.
+    """
+
+    latency_us: float
+    flushed_lbas: Tuple[int, ...] = ()
+
+
+class _RegionState:
+    """Bookkeeping for one cache region's blocks."""
+
+    __slots__ = ("name", "free_blocks", "open_block", "open_free",
+                 "lru", "valid", "invalid", "reserve_block", "reserve_free")
+
+    def __init__(self, name: Region):
+        self.name = name
+        self.free_blocks: Deque[int] = deque()
+        self.open_block: Optional[int] = None
+        self.open_free: Deque[PageAddress] = deque()
+        self.lru: "OrderedDict[int, None]" = OrderedDict()
+        self.valid: Dict[int, Set[PageAddress]] = {}
+        self.invalid: Dict[int, int] = {}
+        # The reserve is a persistent GC log: garbage collection compacts
+        # victims' valid pages into it across runs, and each emptied victim
+        # becomes an allocatable free block.
+        self.reserve_block: Optional[int] = None
+        self.reserve_free: Deque[PageAddress] = deque()
+
+    def total_invalid(self) -> int:
+        return sum(self.invalid.values())
+
+    def blocks_with_content(self) -> List[int]:
+        return list(self.lru)
+
+
+class FlashDiskCache:
+    """Software-managed Flash secondary disk cache over a programmable
+    Flash memory controller."""
+
+    def __init__(self, controller: ProgrammableFlashController,
+                 config: FlashCacheConfig | None = None):
+        self.controller = controller
+        self.config = config or FlashCacheConfig()
+        self.fcht = FlashCacheHashTable(buckets=self.config.fcht_buckets)
+        self.stats = CacheStats()
+        self._location: Dict[int, Region] = {}  # lba -> owning log
+        self._dirty: Set[int] = set()           # lbas not yet on disk
+        self._gc_credit = 0.0                   # background move budget
+        num_blocks = controller.device.geometry.num_blocks
+        if num_blocks < 4:
+            raise ValueError("Flash disk cache needs at least 4 blocks")
+
+        if self.config.split:
+            read_blocks = max(2, int(num_blocks * self.config.read_fraction))
+            read_blocks = min(read_blocks, num_blocks - 2)
+            self._read = _RegionState(Region.READ)
+            self._write = _RegionState(Region.WRITE)
+            for block in range(read_blocks):
+                self._read.free_blocks.append(block)
+            for block in range(read_blocks, num_blocks):
+                self._write.free_blocks.append(block)
+        else:
+            unified = _RegionState(Region.UNIFIED)
+            for block in range(num_blocks):
+                unified.free_blocks.append(block)
+            self._read = unified
+            self._write = unified
+        # One erased block per region is held back as the GC reserve.
+        for region in self._regions():
+            region.reserve_block = region.free_blocks.popleft()
+            region.reserve_free = deque(
+                self.controller.pages_of_block(region.reserve_block))
+            region.valid.setdefault(region.reserve_block, set())
+            region.invalid.setdefault(region.reserve_block, 0)
+
+    def _regions(self) -> List[_RegionState]:
+        if self._read is self._write:
+            return [self._read]
+        return [self._read, self._write]
+
+    # -- capacity queries ----------------------------------------------------
+
+    def total_pages(self) -> int:
+        """Current logical page capacity across all non-retired blocks."""
+        seen: Set[int] = set()
+        total = 0
+        for region in self._regions():
+            for block in self._all_region_blocks(region):
+                if block in seen:
+                    continue
+                seen.add(block)
+                if not self.controller.is_retired(block):
+                    total += self.controller.device.block_capacity_pages(block)
+        return total
+
+    def valid_pages(self) -> int:
+        return sum(len(pages) for region in self._regions()
+                   for pages in region.valid.values())
+
+    def used_fraction(self) -> float:
+        total = self.total_pages()
+        return self.valid_pages() / total if total else 0.0
+
+    def _all_region_blocks(self, region: _RegionState) -> List[int]:
+        blocks = list(region.free_blocks) + list(region.lru)
+        if region.open_block is not None:
+            blocks.append(region.open_block)
+        if region.reserve_block is not None:
+            blocks.append(region.reserve_block)
+        return blocks
+
+    # -- lookup / read ---------------------------------------------------------
+
+    def contains(self, lba: int) -> bool:
+        return lba in self.fcht
+
+    def read(self, lba: int) -> Optional[FlashReadOutcome]:
+        """Serve a read from Flash; ``None`` on miss.
+
+        An uncorrectable page (CRC-confirmed) is dropped from the cache
+        and reported with ``recovered=False`` so the caller refetches from
+        disk.
+        """
+        self._accrue_gc_credit()
+        address = self.fcht.lookup(lba)
+        lookup_us = self.fcht.lookup_cost_us()
+        if address is None:
+            self.stats.read_misses += 1
+            self.controller.fgst.record_miss(4200.0)
+            self.stats.foreground_time_us += lookup_us
+            return None
+
+        result = self.controller.read(address)
+        latency = lookup_us + result.latency_us
+        self.stats.foreground_time_us += latency
+        if not result.recovered:
+            self.stats.uncorrectable += 1
+            self._drop_page(lba, address)
+            self._dirty.discard(lba)
+            self.stats.read_misses += 1
+            self.controller.fgst.record_miss(4200.0)
+            return FlashReadOutcome(latency_us=latency, recovered=False)
+
+        self.stats.read_hits += 1
+        self.controller.fgst.record_hit(result.latency_us)
+        self._touch_block(address.block)
+        if result.hot_promotion and self.config.hot_promotion:
+            self._promote_to_slc(lba, address)
+        return FlashReadOutcome(latency_us=latency, recovered=True)
+
+    def _touch_block(self, block: int) -> None:
+        for region in self._regions():
+            if block in region.lru:
+                region.lru.move_to_end(block)
+                return
+
+    # -- fills (read misses) -----------------------------------------------------
+
+    def insert_clean(self, lba: int) -> float:
+        """Install a page fetched from disk into the read region.
+
+        Returns the (background) program latency.  Section 5.1: on a read
+        miss the disk content is copied to both the PDC and the read cache.
+        """
+        self._accrue_gc_credit()
+        old = self.fcht.lookup(lba)
+        if old is not None:
+            self._drop_page(lba, old)
+        address = self._allocate_page(self._read)
+        latency = self.controller.program(address, lba=lba)
+        self._register(lba, address, self._read, Region.READ)
+        self.stats.fills += 1
+        return latency
+
+    # -- writes ---------------------------------------------------------------------
+
+    def write(self, lba: int) -> WriteOutcome:
+        """Out-of-place write into the write region (section 5.1).
+
+        Existing copies — in either region — are invalidated first.  The
+        read region may cross the GC watermark as a result and compact in
+        the background.
+        """
+        self.stats.writes += 1
+        self._accrue_gc_credit()
+        flushed: List[int] = []
+        existing = self.fcht.lookup(lba)
+        if existing is not None:
+            region = self._region_of(lba)
+            if region is self._write and self.config.split:
+                self.stats.write_region_hits += 1
+            self._drop_page(lba, existing)
+            if self.config.split and region is self._read:
+                self._maybe_gc_read_region()
+
+        address, evict_flushed = self._allocate_page_collect(self._write)
+        flushed.extend(evict_flushed)
+        latency = self.controller.program(address, lba=lba)
+        self.stats.foreground_time_us += latency
+        self._register(lba, address, self._write, Region.WRITE)
+        self._dirty.add(lba)
+        return WriteOutcome(latency_us=latency, flushed_lbas=tuple(flushed))
+
+    # -- page bookkeeping helpers ---------------------------------------------------
+
+    def _region_of(self, lba: int) -> _RegionState:
+        tag = self._location.get(lba)
+        if tag is Region.WRITE:
+            return self._write
+        return self._read
+
+    def _register(self, lba: int, address: PageAddress,
+                  region: _RegionState, tag: Region) -> None:
+        self.fcht.insert(lba, address)
+        self._location[lba] = tag
+        region.valid.setdefault(address.block, set()).add(address)
+
+    def _drop_page(self, lba: int, address: PageAddress) -> None:
+        """Invalidate a cached page everywhere it is tracked."""
+        self.fcht.remove(lba)
+        tag = self._location.pop(lba, None)
+        region = self._write if tag is Region.WRITE else self._read
+        pages = region.valid.get(address.block)
+        if pages is not None and address in pages:
+            pages.remove(address)
+            region.invalid[address.block] = \
+                region.invalid.get(address.block, 0) + 1
+        self.controller.invalidate(address)
+        self.stats.invalidations += 1
+
+    # -- allocation, eviction, wear-leveling -------------------------------------------
+
+    def _allocate_page(self, region: _RegionState) -> PageAddress:
+        address, flushed = self._allocate_page_collect(region)
+        if flushed:
+            # Dirty flushes can only originate in the write region; the
+            # read region never produces them.
+            self.stats.flushed_pages += len(flushed)
+        return address
+
+    def _allocate_page_collect(
+            self, region: _RegionState) -> Tuple[PageAddress, List[int]]:
+        flushed: List[int] = []
+        while not region.open_free:
+            if region.open_block is not None:
+                # Open block is full: close it into the LRU set.
+                region.lru[region.open_block] = None
+                region.lru.move_to_end(region.open_block)
+                region.open_block = None
+            if region.free_blocks:
+                slc = (self.config.write_region_slc
+                       and self.config.split and region is self._write)
+                self._open_block(region, region.free_blocks.popleft(),
+                                 slc=slc)
+                continue
+            block_capacity = self._nominal_block_pages()
+            collected = False
+            if region.total_invalid() >= block_capacity \
+                    or not self.config.allow_eviction_for_space:
+                collected = self._garbage_collect(region)
+            if not collected:
+                if not self.config.allow_eviction_for_space:
+                    raise RuntimeError(
+                        "flash is full of valid pages and eviction is "
+                        "disabled (SSD semantics): no space can be reclaimed")
+                flushed.extend(self._evict_block(region))
+        return region.open_free.popleft(), flushed
+
+    def _accrue_gc_credit(self) -> None:
+        if self.config.gc_move_budget is not None:
+            self._gc_credit += self.config.gc_move_budget
+
+    def _gc_move_allowance(self) -> Optional[int]:
+        """How many GC page moves the background budget currently allows
+        (None = unlimited).  SSD mode ignores the budget: with eviction
+        forbidden, GC must run regardless."""
+        if self.config.gc_move_budget is None \
+                or not self.config.allow_eviction_for_space:
+            return None
+        return int(self._gc_credit)
+
+    def _nominal_block_pages(self) -> int:
+        geometry = self.controller.device.geometry
+        return geometry.pages_per_block(CellMode.MLC)
+
+    def _open_block(self, region: _RegionState, block: int,
+                    slc: bool = False) -> None:
+        if slc:
+            latency = self._format_block_slc(block)
+            self.stats.gc_time_us += latency
+        region.open_block = block
+        region.open_free = deque(
+            address for address in self.controller.pages_of_block(block)
+            if address not in region.valid.get(block, set())
+        )
+        region.valid.setdefault(block, set())
+        region.invalid.setdefault(block, 0)
+
+    def _format_block_slc(self, block: int) -> float:
+        for frame in range(self.controller.device.geometry.frames_per_block):
+            self.controller.request_slc(PageAddress(block, frame, 0))
+        return self.controller.erase(block)
+
+    def _garbage_collect(self, region: _RegionState) -> bool:
+        """Compact one victim block into the reserve GC log.
+
+        The victim's valid pages move into the reserve block's free pages;
+        the erased victim then either becomes the new reserve (when the
+        old one filled up, which closes it into the LRU set) or joins the
+        free list as allocatable space.  Victim selection is greedy
+        most-invalid (cheapest move per page reclaimed); all work runs in
+        the background (time booked to ``gc_time_us``).  Returns False
+        when no victim fits the remaining reserve space (the caller falls
+        back to eviction).
+        """
+        reserve = region.reserve_block
+        if reserve is None:
+            raise RuntimeError("region lost its reserve block")
+        region.reserve_free = deque(self.controller.pages_of_block(reserve))
+        allowance = self._gc_move_allowance()
+        max_moves = len(region.reserve_free)
+        if allowance is not None:
+            max_moves = min(max_moves, allowance)
+        victim = self._most_invalid_block(region, max_valid=max_moves)
+        if victim is None:
+            return False
+        if allowance is not None:
+            self._gc_credit -= len(region.valid.get(victim, set()))
+        self.stats.gc_runs += 1
+        elapsed = 0.0
+        for address in sorted(region.valid.get(victim, set()),
+                              key=lambda a: (a.frame, a.subpage)):
+            lba = self.controller.fpst.entry(address).lba
+            read_result = self.controller.read(address)
+            elapsed += read_result.latency_us
+            target = region.reserve_free.popleft()
+            elapsed += self.controller.program(target, lba=lba)
+            self.stats.gc_page_moves += 1
+            if lba is not None:
+                self.fcht.insert(lba, target)
+            region.valid.setdefault(reserve, set()).add(target)
+        elapsed += self.controller.erase(victim)
+        region.lru.pop(victim, None)
+        region.valid[victim] = set()
+        region.invalid[victim] = 0
+        # The erased victim becomes the new spare; the partially filled
+        # old spare must not strand its remaining erased pages, so it
+        # becomes the region's open block when possible, otherwise its
+        # unused slots are booked as reclaimable (invalid) space.
+        remaining = region.reserve_free
+        region.reserve_block = victim
+        region.reserve_free = deque()
+        region.invalid.setdefault(reserve, 0)
+        if region.open_block is None:
+            region.open_block = reserve
+            region.open_free = remaining
+        else:
+            region.lru[reserve] = None
+            region.lru.move_to_end(reserve)
+            region.invalid[reserve] += len(remaining)
+        self.stats.gc_time_us += elapsed
+        return True
+
+    def _most_invalid_block(self, region: _RegionState,
+                            max_valid: int | None = None) -> Optional[int]:
+        """Greedy GC victim: most invalid pages, and (when ``max_valid`` is
+        given) whose valid pages fit the reserve block's capacity."""
+        best, best_count = None, 0
+        for block in region.lru:
+            count = region.invalid.get(block, 0)
+            if count <= best_count:
+                continue
+            if max_valid is not None \
+                    and len(region.valid.get(block, set())) > max_valid:
+                continue
+            best, best_count = block, count
+        return best
+
+    def _evict_block(self, region: _RegionState) -> List[int]:
+        """Evict a whole block (LRU, wear-level aware); returns dirty LBAs.
+
+        Read-region content is clean and simply dropped; write-region
+        content is dirty and must flush to disk (section 5.1).
+        """
+        if not region.lru:
+            raise RuntimeError("eviction requested but region has no blocks")
+        victim = next(iter(region.lru))
+        victim = self._wear_level_victim(region, victim)
+        flushed: List[int] = []
+        for address in list(region.valid.get(victim, set())):
+            lba = self.controller.fpst.entry(address).lba
+            if lba is not None:
+                if lba in self._dirty:
+                    flushed.append(lba)
+                    self._dirty.discard(lba)
+                self.fcht.remove(lba)
+                self._location.pop(lba, None)
+        erase_latency = self.controller.erase(victim)
+        self.stats.foreground_time_us += erase_latency
+        region.lru.pop(victim, None)
+        region.valid[victim] = set()
+        region.invalid[victim] = 0
+        region.free_blocks.append(victim)
+        if region is self._write and self.config.split:
+            self.stats.write_evictions += 1
+        else:
+            self.stats.read_evictions += 1
+        self.stats.flushed_pages += len(flushed)
+        return flushed
+
+    def _wear_level_victim(self, region: _RegionState, victim: int) -> int:
+        """Section 3.6: swap in the globally newest block when the LRU
+        victim is too worn, migrating the newest block's content into the
+        victim first."""
+        newest = self._global_newest_block(exclude={victim})
+        if newest is None:
+            return victim
+        wear_gap = (self.controller.wear_out(victim)
+                    - self.controller.wear_out(newest))
+        if wear_gap <= self.config.wear_threshold:
+            return victim
+        newest_region = self._owning_region(newest)
+        if newest_region is None or newest not in newest_region.lru:
+            return victim  # newest block has no migratable content
+        victim_pages = deque(self.controller.pages_of_block(victim))
+        newest_valid = newest_region.valid.get(newest, set())
+        if len(newest_valid) > len(victim_pages):
+            # The victim cannot hold the newest block's content (density
+            # mismatch); skip the swap rather than drop pages.
+            return victim
+        self.stats.wear_swaps += 1
+        elapsed = self.controller.erase(victim)
+        victim_region = region
+        # Migrate newest -> victim; the two blocks swap owners.
+        moved: Set[PageAddress] = set()
+        for address in sorted(newest_valid,
+                              key=lambda a: (a.frame, a.subpage)):
+            lba = self.controller.fpst.entry(address).lba
+            read_result = self.controller.read(address)
+            elapsed += read_result.latency_us
+            target = victim_pages.popleft()
+            elapsed += self.controller.program(target, lba=lba)
+            if lba is not None:
+                self.fcht.insert(lba, target)
+            moved.add(target)
+        self.stats.gc_time_us += elapsed
+        # Victim block now carries the newest block's content and takes its
+        # place in the newest block's region LRU.
+        newest_region.lru.pop(newest, None)
+        newest_region.lru[victim] = None
+        newest_region.valid[victim] = moved
+        newest_region.invalid[victim] = 0
+        victim_region.lru.pop(victim, None)
+        if newest_region is not victim_region:
+            victim_region.valid.pop(victim, None)
+            victim_region.invalid.pop(victim, None)
+        # The newest block is erased by the caller as the actual victim; it
+        # joins the requesting region at the LRU end.
+        newest_region.valid.pop(newest, None)
+        newest_region.invalid.pop(newest, None)
+        victim_region.lru[newest] = None
+        victim_region.lru.move_to_end(newest, last=False)
+        victim_region.valid[newest] = set()
+        victim_region.invalid[newest] = 0
+        return newest
+
+    def _global_newest_block(self, exclude: Set[int]) -> Optional[int]:
+        """Minimum-wear block with content, over all regions (section 3.6:
+        "Newest blocks are chosen from the entire set of Flash blocks")."""
+        best, best_wear = None, float("inf")
+        for region in self._regions():
+            for block in region.lru:
+                if block in exclude or self.controller.is_retired(block):
+                    continue
+                wear = self.controller.wear_out(block)
+                if wear < best_wear:
+                    best, best_wear = block, wear
+        return best
+
+    def _owning_region(self, block: int) -> Optional[_RegionState]:
+        for region in self._regions():
+            if block in region.lru or block == region.open_block:
+                return region
+        return None
+
+    # -- read-region compaction (section 5.1) ------------------------------------------
+
+    def _maybe_gc_read_region(self) -> None:
+        region = self._read
+        capacity = sum(
+            self.controller.device.block_capacity_pages(block)
+            for block in region.lru
+        )
+        if capacity == 0:
+            return
+        valid = sum(len(region.valid.get(block, set())) for block in region.lru)
+        if valid / capacity < self.config.gc_read_watermark \
+                and region.total_invalid() >= self._nominal_block_pages():
+            self._garbage_collect(region)
+
+    # -- hot-page promotion (section 5.2.2) ----------------------------------------------
+
+    def _promote_to_slc(self, lba: int, address: PageAddress) -> None:
+        """Migrate a saturated MLC page into an SLC-formatted block."""
+        tag = self._location.get(lba) or Region.READ
+        region = self._write if tag is Region.WRITE else self._read
+        target = self._slc_page(region)
+        if target is None:
+            return  # no capacity for promotion right now
+        elapsed = self.controller.read(address).latency_us
+        self._drop_page(lba, address)
+        elapsed += self.controller.program(target, lba=lba)
+        entry = self.controller.fpst.entry(target)
+        entry.saturate()
+        self._register(lba, target, region, tag)
+        self.stats.slc_promotions += 1
+        self.stats.gc_time_us += elapsed
+
+    def _slc_page(self, region: _RegionState) -> Optional[PageAddress]:
+        """Next free SLC page, formatting a free block to SLC if needed."""
+        if region.open_block is not None and region.open_free:
+            head = region.open_free[0]
+            if self.controller.device.frame_mode(
+                    head.block, head.frame) is CellMode.SLC:
+                return region.open_free.popleft()
+        if not region.free_blocks:
+            return None
+        block = region.free_blocks.popleft()
+        # Close the current open block before switching to the SLC one.
+        if region.open_block is not None:
+            region.lru[region.open_block] = None
+            region.lru.move_to_end(region.open_block)
+        self._open_block(region, block, slc=True)
+        return region.open_free.popleft()
+
+    # -- maintenance -----------------------------------------------------------------------
+
+    def flush(self) -> List[int]:
+        """Flush dirty pages to disk: returns every dirty LBA and marks it
+        clean; the pages stay cached and readable (section 5.1: "The disk
+        is eventually updated by flushing the write disk cache")."""
+        flushed = sorted(self._dirty)
+        self._dirty.clear()
+        self.stats.flushed_pages += len(flushed)
+        return flushed
+
+    def is_dirty(self, lba: int) -> bool:
+        return lba in self._dirty

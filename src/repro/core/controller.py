@@ -1,0 +1,405 @@
+"""The programmable Flash memory controller (paper sections 4 and 5.2).
+
+The controller is the reliability layer between the disk-cache software
+and the raw NAND array.  Per page it maintains (in the FPST) a BCH error
+correction strength ``t`` in [1, 12] and a density mode (MLC or SLC); on
+every access it:
+
+* generates a *descriptor* from the FPST (ECC strength + mode) — the
+  control message a real device driver would DMA to the controller;
+* charges the BCH decode/encode latency of the page's current strength on
+  top of the raw NAND latency (and the CRC check, which is negligible);
+* watches the raw bit-error count.  When a page reaches its correction
+  limit, the reconfiguration heuristic of section 5.2.1 picks the cheaper
+  of two repairs by estimated latency impact:
+
+      delta_t_cs = freq_i * delta_code_delay          (stronger ECC)
+      delta_t_d  ~= delta_miss * (t_miss + t_hit) + freq_i * delta_SLC
+                                                      (MLC -> SLC)
+
+  The chosen change is *pended* and applied at the block's next erase
+  ("the updated page settings are applied on the next erase and write
+  access").  A page already at ``t = max`` and SLC retires its block
+  permanently.
+
+A fixed-strength baseline (:class:`FixedEccController`) models the
+conventional BCH-1 controller Figure 12 compares against.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+from ..ecc.latency import AcceleratorConfig, BCHLatencyModel
+from ..flash.device import FlashDevice
+from ..flash.geometry import PageAddress
+from ..flash.timing import CellMode
+from .tables import (
+    ACCESS_COUNTER_MAX,
+    FlashBlockStatusTable,
+    FlashGlobalStatus,
+    FlashPageStatusTable,
+)
+
+__all__ = [
+    "ReconfigKind",
+    "PageDescriptor",
+    "ControllerConfig",
+    "ControllerReadResult",
+    "ControllerStats",
+    "ProgrammableFlashController",
+    "FixedEccController",
+]
+
+#: CRC32 check latency: "tens of nanoseconds" (section 4.1.2).
+CRC_CHECK_US = 0.05
+
+
+class ReconfigKind(enum.Enum):
+    """The two descriptor-update responses of section 5.2.1."""
+
+    CODE_STRENGTH = "code_strength"
+    DENSITY = "density"
+
+
+@dataclass(frozen=True)
+class PageDescriptor:
+    """Control message sent to the controller ahead of a page access."""
+
+    address: PageAddress
+    ecc_strength: int
+    mode: CellMode
+
+
+@dataclass(frozen=True)
+class ControllerConfig:
+    """Policy constants of the programmable controller."""
+
+    max_ecc_strength: int = 12     # hardware limit (section 4.1)
+    initial_ecc_strength: int = 1
+    counter_max: int = ACCESS_COUNTER_MAX
+    #: Reduction in read latency from an MLC->SLC switch (50us -> 25us).
+    #: Derived from timing at runtime; this is only a fallback.
+    slc_read_gain_us: float = 25.0
+
+    def __post_init__(self) -> None:
+        if not 1 <= self.initial_ecc_strength <= self.max_ecc_strength:
+            raise ValueError("initial ECC strength outside [1, max]")
+
+
+@dataclass(frozen=True)
+class ControllerReadResult:
+    """Outcome of a controller-mediated page read."""
+
+    latency_us: float
+    corrected_errors: int
+    recovered: bool               # False => CRC-confirmed uncorrectable
+    reconfig: Optional[ReconfigKind]
+    hot_promotion: bool           # counter saturated on an MLC page
+
+
+@dataclass
+class ControllerStats:
+    """Counts of the controller's reliability actions (Figure 11 inputs)."""
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    ecc_reconfigs: int = 0
+    density_reconfigs: int = 0
+    uncorrectable_reads: int = 0
+    blocks_retired: int = 0
+    hot_promotions: int = 0
+
+    @property
+    def descriptor_updates(self) -> int:
+        return self.ecc_reconfigs + self.density_reconfigs
+
+    def reconfig_breakdown(self) -> Dict[str, float]:
+        """Fractions of descriptor updates by kind (Figure 11 bars)."""
+        total = self.descriptor_updates
+        if total == 0:
+            return {"code_strength": 0.0, "density": 0.0}
+        return {
+            "code_strength": self.ecc_reconfigs / total,
+            "density": self.density_reconfigs / total,
+        }
+
+
+class ProgrammableFlashController:
+    """Variable-ECC, variable-density Flash memory controller.
+
+    Owns the NAND device plus the FPST/FBST/FGST tables, and implements
+    the reconfiguration policy.  The disk-cache layer above allocates
+    pages and decides placement; this layer decides *how reliably* each
+    page is stored.
+    """
+
+    def __init__(
+        self,
+        device: FlashDevice,
+        config: ControllerConfig | None = None,
+        latency_model: BCHLatencyModel | None = None,
+        fgst: FlashGlobalStatus | None = None,
+    ):
+        self.device = device
+        self.config = config or ControllerConfig()
+        self.latency_model = latency_model or BCHLatencyModel(
+            AcceleratorConfig(max_t=self.config.max_ecc_strength)
+        )
+        self.fpst = FlashPageStatusTable(
+            default_ecc_strength=self.config.initial_ecc_strength)
+        self.fbst = FlashBlockStatusTable(device.geometry.num_blocks)
+        self.fgst = fgst or FlashGlobalStatus()
+        self.stats = ControllerStats()
+        #: Optional externally measured miss-rate increase per lost cache
+        #: page (the paper's runtime-measured "delta miss").  When None, a
+        #: uniform-popularity estimate is derived from the FGST.
+        self.marginal_miss_estimate: Optional[float] = None
+        # Pending density changes keyed by (block, frame), applied at erase.
+        self._pending_modes: Dict[tuple[int, int], CellMode] = {}
+        self._decode_cache: Dict[int, float] = {}
+        self._encode_cache: Dict[int, float] = {}
+
+    # -- descriptor plumbing --------------------------------------------------
+
+    def descriptor(self, address: PageAddress) -> PageDescriptor:
+        entry = self.fpst.entry(address)
+        return PageDescriptor(address, entry.ecc_strength, entry.mode)
+
+    def _decode_us(self, t: int) -> float:
+        cached = self._decode_cache.get(t)
+        if cached is None:
+            cached = self.latency_model.decode_us(t)
+            self._decode_cache[t] = cached
+        return cached
+
+    def _encode_us(self, t: int) -> float:
+        cached = self._encode_cache.get(t)
+        if cached is None:
+            cached = self.latency_model.encode_us(t)
+            self._encode_cache[t] = cached
+        return cached
+
+    # -- mediated NAND operations ------------------------------------------------
+
+    def read(self, address: PageAddress) -> ControllerReadResult:
+        """Timed page read with ECC decode and reconfiguration triggers."""
+        entry = self.fpst.entry(address)
+        raw = self.device.read_page(address)
+        entry.mode = raw.mode  # FPST reflects the physical frame mode
+        latency = raw.latency_us + self._decode_us(entry.ecc_strength) \
+            + CRC_CHECK_US
+        self.stats.reads += 1
+
+        recovered = raw.raw_bit_errors <= entry.ecc_strength
+        if not recovered:
+            self.stats.uncorrectable_reads += 1
+        reconfig: Optional[ReconfigKind] = None
+        if raw.raw_bit_errors >= entry.ecc_strength:
+            # At (or past) the correction limit: reconfigure per 5.2.1.
+            reconfig = self._respond_to_faults(address, entry)
+
+        hot = entry.touch(self.config.counter_max) \
+            and entry.mode is CellMode.MLC
+        if hot:
+            self.stats.hot_promotions += 1
+        return ControllerReadResult(
+            latency_us=latency,
+            corrected_errors=min(raw.raw_bit_errors, entry.ecc_strength),
+            recovered=recovered,
+            reconfig=reconfig,
+            hot_promotion=hot,
+        )
+
+    def program(self, address: PageAddress, lba: Optional[int] = None,
+                data: Optional[bytes] = None) -> float:
+        """Timed page program with ECC encode; registers the page in FPST."""
+        result = self.device.program_page(address, data)
+        entry = self.fpst.entry(address)
+        entry.mode = result.mode
+        entry.valid = True
+        entry.lba = lba
+        entry.access_count = 0
+        self.stats.programs += 1
+        return result.latency_us + self._encode_us(entry.ecc_strength)
+
+    def erase(self, block: int) -> float:
+        """Timed block erase; applies pended density reconfigurations."""
+        new_modes = {
+            frame: mode
+            for (blk, frame), mode in list(self._pending_modes.items())
+            if blk == block
+        }
+        for frame in new_modes:
+            del self._pending_modes[(block, frame)]
+        # Capture the *pre-erase* page layout: an MLC->SLC switch halves
+        # the address space and the vanished subpage-1 entries must drop.
+        stale_pages = self.pages_of_block(block)
+        result = self.device.erase_block(block, new_modes=new_modes or None)
+        fbst_entry = self.fbst.entry(block)
+        fbst_entry.erase_count = result.erase_count
+        geometry = self.device.geometry
+        # ECC strength and density mode describe the *physical* page's wear
+        # state, so they persist across the erase; contents-related fields
+        # (validity, LBA, hotness) reset.
+        fbst_entry.total_ecc = 0
+        fbst_entry.total_slc_pages = 0
+        for frame in range(geometry.frames_per_block):
+            mode = self.device.frame_mode(block, frame)
+            if mode is CellMode.SLC:
+                fbst_entry.total_slc_pages += 1
+            live_subpages = geometry.pages_per_frame(mode)
+            for address in (a for a in stale_pages if a.frame == frame):
+                if address.subpage >= live_subpages:
+                    self.fpst.drop(address)
+                    continue
+                entry = self.fpst.get(address)
+                if entry is None:
+                    continue
+                entry.valid = False
+                entry.lba = None
+                entry.access_count = 0
+                entry.mode = mode
+                # The wear signal is strength *added* over the lifetime
+                # default, matching the incremental accounting done when a
+                # reconfiguration happens between erases.
+                fbst_entry.total_ecc += max(
+                    entry.ecc_strength - self.config.initial_ecc_strength, 0)
+        self.stats.erases += 1
+        return result.latency_us
+
+    def invalidate(self, address: PageAddress) -> None:
+        """Mark a page invalid (out-of-place write superseded it)."""
+        entry = self.fpst.get(address)
+        if entry is not None:
+            entry.valid = False
+
+    # -- section 5.2.1: response to an increase in faults -------------------------
+
+    def _respond_to_faults(self, address: PageAddress,
+                           entry) -> Optional[ReconfigKind]:
+        """Choose stronger ECC vs density reduction by the latency heuristics."""
+        can_strengthen = entry.ecc_strength < self.config.max_ecc_strength
+        can_densify = entry.mode is CellMode.MLC
+        if not can_strengthen and not can_densify:
+            self._retire_block(address.block)
+            return None
+
+        if can_strengthen and can_densify:
+            choice = self._cheaper_repair(entry)
+        elif can_strengthen:
+            choice = ReconfigKind.CODE_STRENGTH
+        else:
+            choice = ReconfigKind.DENSITY
+
+        if choice is ReconfigKind.CODE_STRENGTH:
+            entry.ecc_strength += 1
+            self._account_page_ecc(address.block, 1, None)
+            self.stats.ecc_reconfigs += 1
+        else:
+            self._pend_density_change(address)
+            self.stats.density_reconfigs += 1
+        return choice
+
+    def choose_repair(self, entry) -> ReconfigKind:
+        """Public face of the section 5.2.1 heuristic: given a page's FPST
+        entry, pick the repair (stronger ECC vs MLC->SLC) with the smaller
+        estimated latency impact.  Exposed for the accelerated lifetime
+        simulator, which replays the same policy event-driven."""
+        return self._cheaper_repair(entry)
+
+    def _cheaper_repair(self, entry) -> ReconfigKind:
+        """Evaluate delta_t_cs vs delta_t_d (section 5.2.1 heuristics)."""
+        fgst = self.fgst
+        freq = fgst.relative_frequency(entry.access_count)
+        delta_code_delay = (
+            self._decode_us(entry.ecc_strength + 1)
+            - self._decode_us(entry.ecc_strength)
+        )
+        delta_tcs = freq * delta_code_delay
+
+        timing = self.device.timing
+        slc_gain = timing.mlc_read_us - timing.slc_read_us
+        delta_miss = self._density_miss_increase()
+        t_miss = fgst.avg_miss_penalty_us or 4200.0
+        t_hit = fgst.avg_hit_latency_us or timing.mlc_read_us
+        delta_td = delta_miss * (t_miss + t_hit) - freq * slc_gain
+        return (ReconfigKind.CODE_STRENGTH if delta_tcs <= delta_td
+                else ReconfigKind.DENSITY)
+
+    def _density_miss_increase(self) -> float:
+        """Estimated miss-rate increase from halving one frame's capacity.
+
+        Losing one page of an N-page cache raises the miss rate by the hit
+        share of the *marginal* (least popular cached) page.  When the
+        environment has measured that quantity (section 5.2.1: "delta miss
+        [is] measured during run-time"), it is installed in
+        :attr:`marginal_miss_estimate`; otherwise fall back to the uniform
+        share (1 - miss) / N.
+        """
+        if self.marginal_miss_estimate is not None:
+            return self.marginal_miss_estimate
+        total_pages = (self.device.geometry.num_blocks
+                       * self.device.geometry.frames_per_block * 2)
+        return (1.0 - self.fgst.miss_rate) / total_pages
+
+    def _pend_density_change(self, address: PageAddress) -> None:
+        self._pending_modes[(address.block, address.frame)] = CellMode.SLC
+
+    def request_slc(self, address: PageAddress) -> None:
+        """Externally pend an MLC->SLC switch (hot-page promotion path)."""
+        self._pend_density_change(address)
+
+    def _retire_block(self, block: int) -> None:
+        entry = self.fbst.entry(block)
+        if not entry.retired:
+            entry.retired = True
+            self.stats.blocks_retired += 1
+
+    def _account_page_ecc(self, block: int, ecc_delta: int,
+                          mode: Optional[CellMode]) -> None:
+        self.fbst.entry(block).total_ecc += ecc_delta
+
+    # -- queries used by the cache layer ---------------------------------------
+
+    def pages_of_block(self, block: int) -> List[PageAddress]:
+        """All page addresses the block offers under current frame modes."""
+        geometry = self.device.geometry
+        pages: List[PageAddress] = []
+        for frame in range(geometry.frames_per_block):
+            mode = self.device.frame_mode(block, frame)
+            for subpage in range(geometry.pages_per_frame(mode)):
+                pages.append(PageAddress(block, frame, subpage))
+        return pages
+
+    def wear_out(self, block: int) -> float:
+        return self.fbst.wear_out(block)
+
+    def is_retired(self, block: int) -> bool:
+        return self.fbst.entry(block).retired
+
+    @property
+    def all_blocks_retired(self) -> bool:
+        return self.fbst.retired_count == len(self.fbst)
+
+
+class FixedEccController(ProgrammableFlashController):
+    """Conventional BCH-1 controller: no reconfiguration, no density control.
+
+    The Figure 12 baseline: when a page's raw error count reaches the fixed
+    correction strength, the block simply retires.
+    """
+
+    def __init__(self, device: FlashDevice, strength: int = 1,
+                 fgst: FlashGlobalStatus | None = None):
+        config = ControllerConfig(
+            max_ecc_strength=strength, initial_ecc_strength=strength)
+        super().__init__(device, config=config, fgst=fgst)
+
+    def _respond_to_faults(self, address: PageAddress,
+                           entry) -> Optional[ReconfigKind]:
+        self._retire_block(address.block)
+        return None

@@ -1,0 +1,158 @@
+"""Analytical SLC/MLC partition optimizer (paper section 4.2, Figure 7).
+
+For a given Flash die area, what fraction should the density controller
+run in SLC mode?  SLC pages read in 25 us but cost twice the area per bit
+(ITRS 2007: 0.0130 um^2/bit SLC vs 0.0065 um^2/bit MLC); MLC doubles the
+capacity — and capacity buys hit rate, whose alternative is a 4.2 ms disk
+access.  The paper answers with trace-driven analysis (Figure 7); this
+module reproduces it analytically from a workload's popularity
+distribution:
+
+* the cache holds the most popular pages, with the very hottest in the
+  SLC partition (the density controller's saturating counters migrate hot
+  pages there, section 5.2.2);
+* average access latency =
+  sum(p_i * t_slc, hottest pages in SLC)
+  + sum(p_i * t_mlc, next pages in MLC)
+  + (1 - hit mass) * t_disk;
+* sweep the SLC area fraction to find the latency-minimal partition.
+
+Matches the paper's findings: small-footprint, short-tailed workloads
+(Financial2) want mostly SLC; workloads whose working set dwarfs the cache
+(WebSearch1 at half its 5GB working set) want nearly all MLC, because
+capacity dominates; and once the die covers the full working set the
+optimum snaps to 100% SLC.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..flash.timing import (
+    CellMode,
+    FlashTiming,
+    ITRS_ROADMAP,
+    DEFAULT_FLASH_TIMING,
+)
+from ..workloads.synthetic import PopularityDistribution
+from ..workloads.trace import PAGE_BYTES
+
+__all__ = [
+    "DensityPartitionPoint",
+    "DensityPartitionOptimizer",
+    "die_area_for_capacity_mm2",
+]
+
+#: ITRS 2007 cell areas in um^2 per bit.
+_SLC_UM2_PER_BIT = ITRS_ROADMAP[2007].nand_slc_um2_per_bit
+_MLC_UM2_PER_BIT = ITRS_ROADMAP[2007].nand_mlc_um2_per_bit
+_UM2_PER_MM2 = 1e6
+
+
+def die_area_for_capacity_mm2(capacity_bytes: int,
+                              mode: CellMode = CellMode.MLC) -> float:
+    """Die area needed for a capacity at ITRS-2007 cell density."""
+    per_bit = _SLC_UM2_PER_BIT if mode is CellMode.SLC else _MLC_UM2_PER_BIT
+    return capacity_bytes * 8 * per_bit / _UM2_PER_MM2
+
+
+@dataclass(frozen=True)
+class DensityPartitionPoint:
+    """One Figure 7 data point."""
+
+    die_area_mm2: float
+    optimal_slc_fraction: float
+    average_latency_us: float
+    slc_pages: int
+    mlc_pages: int
+
+
+class DensityPartitionOptimizer:
+    """Latency-optimal SLC/MLC split for one workload's popularity curve."""
+
+    def __init__(self, distribution: PopularityDistribution,
+                 timing: FlashTiming = DEFAULT_FLASH_TIMING,
+                 disk_latency_us: float = 4200.0,
+                 page_bytes: int = PAGE_BYTES):
+        self.distribution = distribution
+        self.timing = timing
+        self.disk_latency_us = disk_latency_us
+        self.page_bytes = page_bytes
+        # Cumulative popularity mass of the top-k pages, so any partition's
+        # hit mass is two array lookups.
+        n = distribution.n
+        self._cumulative: List[float] = [0.0] * (n + 1)
+        acc = 0.0
+        for rank in range(n):
+            acc += distribution.rank_probability(rank)
+            self._cumulative[rank + 1] = acc
+
+    @property
+    def working_set_pages(self) -> int:
+        return self.distribution.n
+
+    @property
+    def working_set_area_mm2(self) -> float:
+        """Die area holding the full working set in pure MLC."""
+        return die_area_for_capacity_mm2(
+            self.working_set_pages * self.page_bytes)
+
+    def _top_mass(self, pages: int) -> float:
+        index = min(max(pages, 0), self.distribution.n)
+        return self._cumulative[index]
+
+    def partition_capacity(self, die_area_mm2: float,
+                           slc_fraction: float) -> tuple[int, int]:
+        """(SLC pages, MLC pages) for an area split ``slc_fraction``."""
+        if die_area_mm2 <= 0:
+            raise ValueError("die area must be positive")
+        if not 0.0 <= slc_fraction <= 1.0:
+            raise ValueError("slc_fraction must be in [0, 1]")
+        area_um2 = die_area_mm2 * _UM2_PER_MM2
+        page_bits = self.page_bytes * 8
+        slc_pages = int(area_um2 * slc_fraction / _SLC_UM2_PER_BIT / page_bits)
+        mlc_pages = int(area_um2 * (1.0 - slc_fraction)
+                        / _MLC_UM2_PER_BIT / page_bits)
+        return slc_pages, mlc_pages
+
+    def average_latency_us(self, die_area_mm2: float,
+                           slc_fraction: float) -> float:
+        """Expected access latency with hottest pages in the SLC partition."""
+        slc_pages, mlc_pages = self.partition_capacity(
+            die_area_mm2, slc_fraction)
+        slc_mass = self._top_mass(slc_pages)
+        cached_mass = self._top_mass(slc_pages + mlc_pages)
+        mlc_mass = cached_mass - slc_mass
+        miss_mass = 1.0 - cached_mass
+        return (slc_mass * self.timing.slc_read_us
+                + mlc_mass * self.timing.mlc_read_us
+                + miss_mass * self.disk_latency_us)
+
+    def optimize(self, die_area_mm2: float,
+                 grid_points: int = 101) -> DensityPartitionPoint:
+        """Sweep SLC fractions and return the latency-minimal partition."""
+        if grid_points < 2:
+            raise ValueError("grid needs at least two points")
+        best_fraction, best_latency = 0.0, math.inf
+        for step in range(grid_points):
+            fraction = step / (grid_points - 1)
+            latency = self.average_latency_us(die_area_mm2, fraction)
+            if latency < best_latency - 1e-12:
+                best_fraction, best_latency = fraction, latency
+        slc_pages, mlc_pages = self.partition_capacity(
+            die_area_mm2, best_fraction)
+        return DensityPartitionPoint(
+            die_area_mm2=die_area_mm2,
+            optimal_slc_fraction=best_fraction,
+            average_latency_us=best_latency,
+            slc_pages=slc_pages,
+            mlc_pages=mlc_pages,
+        )
+
+    def figure_7_series(self, die_areas_mm2: Sequence[float],
+                        grid_points: int = 101
+                        ) -> List[DensityPartitionPoint]:
+        """The Figure 7 sweep: optimal latency + partition per die area."""
+        return [self.optimize(area, grid_points) for area in die_areas_mm2]

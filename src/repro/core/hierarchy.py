@@ -1,0 +1,320 @@
+"""The full storage hierarchies of Figure 2.
+
+Two systems, same request API:
+
+* :class:`DramOnlySystem` — the conventional left side of Figure 2: a
+  DRAM primary disk cache (e.g. 512MB) in front of the hard drive.
+* :class:`FlashBackedSystem` — the paper's right side: a smaller DRAM
+  primary disk cache (e.g. 256MB) in front of a Flash secondary disk
+  cache (e.g. 1GB) with its programmable memory controller, in front of
+  the hard drive.
+
+Both process page-granular :class:`~repro.workloads.trace.TraceRecord`
+streams closed-loop.  Foreground latency (what a request waits on) is kept
+separate from background work (PDC write-back, Flash fills, GC) — the
+paper performs "all GCs ... in the background" — but background work still
+consumes device busy time and energy, and the wall clock can never run
+faster than the busiest device, which is how GC pressure feeds back into
+throughput.
+
+Accounting hooks expose everything the evaluation figures need: the
+Figure 9 power/bandwidth breakdown, Figure 10 throughput-vs-ECC, and the
+miss rates of Figure 4.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Iterable, Optional
+
+from ..dram.model import DramModel
+from ..dram.page_cache import PrimaryDiskCache
+from ..disk.model import DiskModel
+from ..flash.device import FlashDevice
+from ..flash.geometry import FlashGeometry
+from ..flash.timing import CellMode
+from ..flash.wear import CellLifetimeModel
+from ..workloads.trace import PAGE_BYTES, TraceRecord
+from .cache import FlashCacheConfig, FlashDiskCache
+from .controller import ControllerConfig, ProgrammableFlashController
+
+__all__ = [
+    "SystemConfig",
+    "RequestStats",
+    "DramOnlySystem",
+    "FlashBackedSystem",
+    "build_flash_system",
+]
+
+
+@dataclass(frozen=True)
+class SystemConfig:
+    """Capacity plan for a simulated platform (Table 3 row)."""
+
+    dram_bytes: int
+    flash_bytes: int = 0
+    page_bytes: int = PAGE_BYTES
+    #: Fraction of DRAM used as page-cache slots (the rest models the OS,
+    #: Flash metadata tables, and application footprint).
+    pdc_fraction: float = 0.85
+    #: CPU + network time a request spends outside the storage stack; sets
+    #: the device idle gaps that power accounting depends on.
+    cpu_us_per_request: float = 100.0
+    #: Platform size the DRAM power model should represent when
+    #: ``dram_bytes`` has been scaled down for simulation speed.
+    power_model_dram_bytes: int | None = None
+    #: Dirty data is flushed to disk in batches every this many requests,
+    #: modelling the OS's periodic write-back daemon; batched flushes are
+    #: largely sequential, so they cost one seek plus streaming transfer.
+    flush_interval_requests: int = 2000
+
+    def __post_init__(self) -> None:
+        if self.dram_bytes < self.page_bytes:
+            raise ValueError("DRAM must hold at least one page")
+        if not 0.0 < self.pdc_fraction <= 1.0:
+            raise ValueError("pdc_fraction must be in (0, 1]")
+
+    @property
+    def pdc_pages(self) -> int:
+        return max(1, int(self.dram_bytes * self.pdc_fraction)
+                   // self.page_bytes)
+
+
+@dataclass
+class RequestStats:
+    """Foreground request accounting."""
+
+    reads: int = 0
+    writes: int = 0
+    total_latency_us: float = 0.0
+    disk_fills: int = 0
+    flash_fills: int = 0
+
+    @property
+    def requests(self) -> int:
+        return self.reads + self.writes
+
+    @property
+    def average_latency_us(self) -> float:
+        return self.total_latency_us / self.requests if self.requests else 0.0
+
+
+class _SystemBase:
+    """Shared request-loop plumbing of both hierarchies."""
+
+    def __init__(self, config: SystemConfig):
+        self.config = config
+        self.dram = DramModel(size_bytes=config.dram_bytes,
+                              power_model_bytes=config.power_model_dram_bytes)
+        self.pdc = PrimaryDiskCache(capacity_pages=config.pdc_pages)
+        self.disk = DiskModel()
+        self.stats = RequestStats()
+        self.background_us = 0.0
+        self._writeback_queue: list[int] = []
+        self._requests_since_flush = 0
+
+    # Subclasses implement the levels below the PDC.
+    def _fill_from_below(self, page: int) -> float:
+        raise NotImplementedError
+
+    def _write_back(self, page: int) -> None:
+        raise NotImplementedError
+
+    def read(self, page: int) -> float:
+        """Service one page read; returns foreground latency (us)."""
+        self.stats.reads += 1
+        latency = self.dram.read(self.config.page_bytes)
+        hit, evictions = self.pdc.read(page)
+        if not hit:
+            latency += self._fill_from_below(page)
+            for eviction in evictions:
+                if eviction.dirty:
+                    self._write_back(eviction.page)
+        self.stats.total_latency_us += latency
+        self._tick_flush()
+        return latency
+
+    def write(self, page: int) -> float:
+        """Service one page write (into the PDC, write-back)."""
+        self.stats.writes += 1
+        latency = self.dram.write(self.config.page_bytes)
+        _, evictions = self.pdc.write(page)
+        for eviction in evictions:
+            if eviction.dirty:
+                self._write_back(eviction.page)
+        self.stats.total_latency_us += latency
+        self._tick_flush()
+        return latency
+
+    def _tick_flush(self) -> None:
+        self._requests_since_flush += 1
+        if self._requests_since_flush >= self.config.flush_interval_requests:
+            self._requests_since_flush = 0
+            self._periodic_flush()
+
+    def _periodic_flush(self) -> None:
+        """Write queued dirty pages to disk as one batched, mostly
+        sequential operation (the write-back daemon's elevator pass)."""
+        self._drain_writeback_queue()
+
+    def _drain_writeback_queue(self) -> None:
+        if self._writeback_queue:
+            self.background_us += self.disk.write(
+                num_pages=len(self._writeback_queue))
+            self._writeback_queue.clear()
+
+    def process(self, record: TraceRecord) -> float:
+        """Apply one trace record (multi-page extents expand)."""
+        total = 0.0
+        for page in record.expand():
+            if record.is_read:
+                total += self.read(page)
+            else:
+                total += self.write(page)
+        return total
+
+    def run(self, records: Iterable[TraceRecord]) -> float:
+        """Process a whole trace; returns total foreground latency."""
+        total = 0.0
+        for record in records:
+            total += self.process(record)
+        return total
+
+    # -- time/power accounting ---------------------------------------------------
+
+    @property
+    def wall_clock_us(self) -> float:
+        """Simulated elapsed time: foreground latency plus per-request
+        CPU/network time, but never less than the busiest device
+        (background work cannot be hidden forever)."""
+        foreground = (self.stats.total_latency_us
+                      + self.stats.requests * self.config.cpu_us_per_request)
+        floor = max(self.disk.busy_us,
+                    self.dram.read_busy_us + self.dram.write_busy_us)
+        flash_busy = getattr(self, "_flash_busy_us", lambda: 0.0)()
+        return max(foreground, floor, flash_busy)
+
+    def throughput_rps(self) -> float:
+        """Requests per second over the simulated window."""
+        wall = self.wall_clock_us
+        return self.stats.requests / (wall * 1e-6) if wall else 0.0
+
+    def reset_measurement(self) -> None:
+        """Zero the time/energy accounting while keeping cache contents.
+
+        Call after a warmup phase so power and throughput report the
+        steady state rather than the cold-start disk fills.
+        """
+        self.dram.reset_stats()
+        self.disk.reset_stats()
+        self.stats = RequestStats()
+        self.background_us = 0.0
+
+
+class DramOnlySystem(_SystemBase):
+    """Conventional platform: DRAM page cache straight onto the disk."""
+
+    def _fill_from_below(self, page: int) -> float:
+        self.stats.disk_fills += 1
+        latency = self.disk.read()
+        latency += self.dram.write(self.config.page_bytes)
+        return latency
+
+    def _write_back(self, page: int) -> None:
+        # OS write-back is asynchronous and batched: the page joins the
+        # write-back queue drained by the periodic flush.
+        self._writeback_queue.append(page)
+
+
+class FlashBackedSystem(_SystemBase):
+    """The paper's platform: DRAM PDC -> Flash disk cache -> disk."""
+
+    def __init__(self, config: SystemConfig,
+                 flash_cache: FlashDiskCache):
+        if config.flash_bytes <= 0:
+            raise ValueError("FlashBackedSystem needs flash_bytes > 0")
+        super().__init__(config)
+        self.flash = flash_cache
+
+    # -- plumbing --------------------------------------------------------------
+
+    def _flash_busy_us(self) -> float:
+        return self.flash.controller.device.stats.busy_us
+
+    def _fill_from_below(self, page: int) -> float:
+        outcome = self.flash.read(page)
+        if outcome is not None and outcome.recovered:
+            self.stats.flash_fills += 1
+            return outcome.latency_us + self.dram.write(self.config.page_bytes)
+        # Flash miss (or CRC-failed page): fetch from disk, fill both the
+        # PDC (synchronously) and the Flash read cache (in the background).
+        latency = (outcome.latency_us if outcome is not None else 0.0)
+        self.stats.disk_fills += 1
+        latency += self.disk.read()
+        latency += self.dram.write(self.config.page_bytes)
+        self.background_us += self.flash.insert_clean(page)
+        return latency
+
+    def _write_back(self, page: int) -> None:
+        outcome = self.flash.write(page)
+        self.background_us += outcome.latency_us
+        self._writeback_queue.extend(outcome.flushed_lbas)
+
+    def _periodic_flush(self) -> None:
+        # Flush the Flash write cache first (section 5.1: "The disk is
+        # eventually updated by flushing the write disk cache") so its
+        # pages are clean by the time eviction recycles their blocks.
+        self._writeback_queue.extend(self.flash.flush())
+        self._drain_writeback_queue()
+
+    def reset_measurement(self) -> None:
+        super().reset_measurement()
+        from ..flash.device import FlashStats
+        self.flash.controller.device.stats = FlashStats()
+        self.flash.stats.foreground_time_us = 0.0
+        self.flash.stats.gc_time_us = 0.0
+
+    def drain(self) -> None:
+        """Flush PDC dirty pages to Flash and Flash dirty pages to disk
+        (simulation barrier; keeps the energy accounting honest)."""
+        for page in self.pdc.flush():
+            self._write_back(page)
+        self._writeback_queue.extend(self.flash.flush())
+        self._drain_writeback_queue()
+
+
+def build_flash_system(
+    dram_bytes: int,
+    flash_bytes: int,
+    cache_config: FlashCacheConfig | None = None,
+    controller_config: ControllerConfig | None = None,
+    lifetime_model: Optional[CellLifetimeModel] = None,
+    initial_mode: CellMode = CellMode.MLC,
+    seed: int = 0,
+    power_model_dram_bytes: int | None = None,
+) -> FlashBackedSystem:
+    """Convenience factory wiring device -> controller -> cache -> system.
+
+    ``flash_bytes`` is the MLC-mode data capacity (Table 3 sizes Flash this
+    way); wear modelling is off unless a ``lifetime_model`` is supplied,
+    which keeps pure performance studies fast.
+    """
+    geometry = FlashGeometry.for_capacity(flash_bytes, mode=initial_mode)
+    device = FlashDevice(
+        geometry=geometry,
+        lifetime_model=lifetime_model,
+        initial_mode=initial_mode,
+        seed=seed,
+    )
+    controller = ProgrammableFlashController(
+        device, config=controller_config)
+    if cache_config is None:
+        # Bound background GC to roughly one page move per request so
+        # compaction cannot out-consume the device (write amplification);
+        # beyond that the cache evicts (cheap for flushed-clean pages).
+        cache_config = FlashCacheConfig(gc_move_budget=1.0)
+    cache = FlashDiskCache(controller, config=cache_config)
+    system_config = SystemConfig(
+        dram_bytes=dram_bytes, flash_bytes=flash_bytes,
+        power_model_dram_bytes=power_model_dram_bytes)
+    return FlashBackedSystem(system_config, cache)

@@ -1,0 +1,5 @@
+"""Hard-disk substrate."""
+
+from .model import DESKTOP_DISK_POWER, LAPTOP_DISK_POWER, DiskModel
+
+__all__ = ["DESKTOP_DISK_POWER", "LAPTOP_DISK_POWER", "DiskModel"]

@@ -1,0 +1,13 @@
+"""DRAM substrate: DDR2 timing/power model and the primary disk cache."""
+
+from .model import DramEnergyBreakdown, DramModel, DDR2_BANDWIDTH_BYTES_PER_US
+from .page_cache import Eviction, PdcStats, PrimaryDiskCache
+
+__all__ = [
+    "DramEnergyBreakdown",
+    "DramModel",
+    "DDR2_BANDWIDTH_BYTES_PER_US",
+    "Eviction",
+    "PdcStats",
+    "PrimaryDiskCache",
+]

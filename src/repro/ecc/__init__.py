@@ -1,0 +1,43 @@
+"""Error-correction substrate: GF(2^m), BCH codec, CRC32, accelerator model.
+
+This package implements the coding machinery behind the paper's
+programmable Flash memory controller (section 4.1): a real binary BCH
+encoder/decoder with variable correction strength, the CRC32 detector that
+guards against BCH false positives, and the latency/area model of the
+hardware accelerator the paper designs (Figure 6(a)).
+"""
+
+from .galois import GF2m, GF2Poly, GFPoly, PRIMITIVE_POLYNOMIALS
+from .bch import (
+    BCHCode,
+    BCHDecodeFailure,
+    BCHDecodeResult,
+    BCHParameters,
+    design_code_for_page,
+    parity_bits_required,
+    parity_bytes_required,
+)
+from .crc import Crc32, crc32, crc32_bitwise, CRC32_POLYNOMIAL
+from .latency import AcceleratorConfig, AreaModel, BCHLatencyModel, DecodeLatency
+
+__all__ = [
+    "GF2m",
+    "GF2Poly",
+    "GFPoly",
+    "PRIMITIVE_POLYNOMIALS",
+    "BCHCode",
+    "BCHDecodeFailure",
+    "BCHDecodeResult",
+    "BCHParameters",
+    "design_code_for_page",
+    "parity_bits_required",
+    "parity_bytes_required",
+    "Crc32",
+    "crc32",
+    "crc32_bitwise",
+    "CRC32_POLYNOMIAL",
+    "AcceleratorConfig",
+    "AreaModel",
+    "BCHLatencyModel",
+    "DecodeLatency",
+]

@@ -1,0 +1,191 @@
+"""Latency and area model of the hardware BCH accelerator.
+
+Section 4.1.1 of the paper measures a software BCH decoder at 0.1–1 s per
+page — unusable — and therefore designs an accelerator: a Berlekamp engine
+plus a 16-way parallel Chien-search engine running on a 100 MHz in-order
+embedded core with parallelised finite-field arithmetic, at a cost of about
+1 mm^2 (including a 2^15-entry field lookup table and 16 finite-field
+adders/multipliers).  Figure 6(a) reports the resulting decode latency,
+split into syndrome-computation and Chien-search components, for 2–11
+correctable errors; Table 3 budgets 58–400 us for BCH in the system
+simulations.
+
+This module reproduces that model analytically:
+
+* syndrome computation streams the n-bit codeword through ``lanes``
+  parallel syndrome accumulators, 8 bits per cycle — its cost steps up each
+  time another group of ``lanes`` syndromes (2t total) is needed;
+* the Chien search sweeps all n candidate positions through ``engines``
+  parallel evaluators, with per-position work growing with the locator
+  degree (about (t+1)/2 cycles per position per engine);
+* Berlekamp–Massey cost is retained but small (the paper: "Berlekamp
+  algorithm overhead is insignificant and was omitted from the figure").
+
+The constants are calibrated so the modelled totals land inside the paper's
+58–400 us envelope with the published shape (near-linear growth in t,
+Chien-dominated).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = [
+    "AcceleratorConfig",
+    "DecodeLatency",
+    "BCHLatencyModel",
+    "AreaModel",
+]
+
+
+@dataclass(frozen=True)
+class AcceleratorConfig:
+    """Microarchitectural parameters of the BCH accelerator.
+
+    Defaults correspond to the paper's design point: a 100 MHz embedded
+    core, 16 Chien-search engines, 16 syndrome lanes, operating on the
+    shortened m=15 code that covers a 2KB page.
+    """
+
+    clock_hz: float = 100e6
+    chien_engines: int = 16
+    syndrome_lanes: int = 16
+    bits_per_syndrome_cycle: int = 8
+    codeword_bits: int = (1 << 15) - 1  # parent code length for 2KB pages
+    max_t: int = 12                     # controller hardware limit
+
+    def __post_init__(self) -> None:
+        if self.clock_hz <= 0:
+            raise ValueError("clock_hz must be positive")
+        if min(self.chien_engines, self.syndrome_lanes,
+               self.bits_per_syndrome_cycle, self.codeword_bits) < 1:
+            raise ValueError("accelerator resources must be >= 1")
+
+
+@dataclass(frozen=True)
+class DecodeLatency:
+    """Decode latency broken into the Figure 6(a) components (microseconds)."""
+
+    syndrome_us: float
+    berlekamp_us: float
+    chien_us: float
+
+    @property
+    def total_us(self) -> float:
+        return self.syndrome_us + self.berlekamp_us + self.chien_us
+
+    @property
+    def total_s(self) -> float:
+        return self.total_us * 1e-6
+
+
+class BCHLatencyModel:
+    """Analytical decode/encode latency for the programmable controller.
+
+    The model is evaluated once per (t) by the system simulator and cached
+    by callers; it is purely functional.
+    """
+
+    def __init__(self, config: AcceleratorConfig | None = None):
+        self.config = config or AcceleratorConfig()
+
+    # -- component latencies -------------------------------------------------
+
+    def syndrome_us(self, t: int) -> float:
+        """Syndrome computation time for a t-error-correcting decode.
+
+        2t syndromes are computed in groups of ``syndrome_lanes``; each group
+        requires one streaming pass over the codeword at
+        ``bits_per_syndrome_cycle`` bits per cycle.
+        """
+        self._check_t(t, allow_beyond_hw=True)
+        cfg = self.config
+        groups = -(-2 * t // cfg.syndrome_lanes)  # ceil division
+        cycles_per_pass = cfg.codeword_bits / cfg.bits_per_syndrome_cycle
+        return groups * cycles_per_pass / cfg.clock_hz * 1e6
+
+    def berlekamp_us(self, t: int) -> float:
+        """Berlekamp–Massey time: O(t^2) field operations, tiny in practice."""
+        self._check_t(t, allow_beyond_hw=True)
+        # ~4 field ops per (i, j) iteration pair on the accelerated datapath.
+        cycles = 4.0 * t * t
+        return cycles / self.config.clock_hz * 1e6
+
+    def chien_us(self, t: int) -> float:
+        """Chien-search time: n positions over ``chien_engines`` evaluators.
+
+        Evaluating a degree-t locator costs about (t + 1) / 2 cycles per
+        position on the two-term-per-cycle datapath.
+        """
+        self._check_t(t, allow_beyond_hw=True)
+        cfg = self.config
+        positions_per_engine = cfg.codeword_bits / cfg.chien_engines
+        cycles = positions_per_engine * (t + 1) / 2.0
+        return cycles / cfg.clock_hz * 1e6
+
+    # -- aggregate interfaces --------------------------------------------------
+
+    def decode_latency(self, t: int) -> DecodeLatency:
+        """Full decode latency for code strength ``t`` (Figure 6(a) point)."""
+        if t == 0:
+            return DecodeLatency(0.0, 0.0, 0.0)
+        return DecodeLatency(
+            syndrome_us=self.syndrome_us(t),
+            berlekamp_us=self.berlekamp_us(t),
+            chien_us=self.chien_us(t),
+        )
+
+    def decode_us(self, t: int) -> float:
+        """Scalar decode latency used by the system timing model."""
+        return self.decode_latency(t).total_us
+
+    def encode_us(self, t: int) -> float:
+        """Systematic encode: one streaming division pass over the page."""
+        if t == 0:
+            return 0.0
+        self._check_t(t, allow_beyond_hw=True)
+        cfg = self.config
+        cycles = cfg.codeword_bits / cfg.bits_per_syndrome_cycle
+        return cycles / cfg.clock_hz * 1e6
+
+    def figure_6a_series(self, t_values: range | list[int] | None = None
+                         ) -> list[tuple[int, DecodeLatency]]:
+        """The (t, latency) series plotted in Figure 6(a): t = 2..11."""
+        if t_values is None:
+            t_values = range(2, 12)
+        return [(t, self.decode_latency(t)) for t in t_values]
+
+    def _check_t(self, t: int, allow_beyond_hw: bool = False) -> None:
+        if t < 0:
+            raise ValueError(f"code strength t must be >= 0, got {t}")
+        if not allow_beyond_hw and t > self.config.max_t:
+            raise ValueError(
+                f"t={t} exceeds the controller hardware limit "
+                f"max_t={self.config.max_t}"
+            )
+
+
+@dataclass(frozen=True)
+class AreaModel:
+    """Die-area accounting for the accelerator (section 4.1.1).
+
+    The paper's design — a 2^15-entry finite-field lookup table plus 16
+    finite-field adder/multiplier pairs and the CRC32 block — comes to about
+    1 mm^2; the CRC engine is explicitly "negligible".
+    """
+
+    lookup_table_entries: int = 1 << 15
+    field_operator_pairs: int = 16
+    lookup_table_mm2: float = 0.55
+    per_operator_pair_mm2: float = 0.025
+    control_mm2: float = 0.05
+    crc_mm2: float = 0.002
+
+    @property
+    def total_mm2(self) -> float:
+        return (
+            self.lookup_table_mm2
+            + self.field_operator_pairs * self.per_operator_pair_mm2
+            + self.control_mm2
+            + self.crc_mm2
+        )

@@ -1,0 +1,72 @@
+"""Figure 6: (a) BCH decode latency and (b) tolerable W/E cycles vs ECC.
+
+Both panels are closed-form in this reproduction — 6(a) from the
+accelerator latency model (validated against the functional codec in the
+test suite) and 6(b) from the lognormal cell-lifetime model — so the
+experiment runners simply evaluate and tabulate the series.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Sequence
+
+from ..ecc.latency import BCHLatencyModel, DecodeLatency
+from ..flash.wear import CellLifetimeModel
+
+__all__ = ["run_decode_latency_series", "run_tolerable_cycles_series",
+           "Fig6aPoint"]
+
+
+@dataclass(frozen=True)
+class Fig6aPoint:
+    t: int
+    syndrome_us: float
+    chien_us: float
+    total_us: float
+
+
+def run_decode_latency_series(
+        t_values: Sequence[int] = tuple(range(2, 12))) -> List[Fig6aPoint]:
+    """Figure 6(a): decode latency split into syndrome + Chien components."""
+    model = BCHLatencyModel()
+    points = []
+    for t in t_values:
+        latency: DecodeLatency = model.decode_latency(t)
+        points.append(Fig6aPoint(
+            t=t,
+            syndrome_us=latency.syndrome_us,
+            chien_us=latency.chien_us,
+            total_us=latency.total_us,
+        ))
+    return points
+
+
+def run_tolerable_cycles_series(
+    t_values: Sequence[int] = tuple(range(0, 11)),
+    stdev_fracs: Sequence[float] = (0.0, 0.05, 0.10, 0.20),
+) -> Dict[float, List[tuple]]:
+    """Figure 6(b): max tolerable W/E cycles per ECC strength and stdev."""
+    return CellLifetimeModel.figure_6b_series(
+        t_values=list(t_values), stdev_fracs=tuple(stdev_fracs))
+
+
+def main() -> None:
+    print("Figure 6(a): BCH decode latency (us)")
+    print(f"{'t':>3} {'syndrome':>9} {'chien':>9} {'total':>9}")
+    for point in run_decode_latency_series():
+        print(f"{point.t:>3} {point.syndrome_us:9.1f} {point.chien_us:9.1f} "
+              f"{point.total_us:9.1f}")
+    print()
+    print("Figure 6(b): max tolerable W/E cycles")
+    series = run_tolerable_cycles_series()
+    ts = [t for t, _ in next(iter(series.values()))]
+    header = "stdev " + " ".join(f"t={t:<8d}" for t in ts)
+    print(header)
+    for frac, points in series.items():
+        row = f"{frac:5.0%} " + " ".join(f"{c:<10.2e}" for _, c in points)
+        print(row)
+
+
+if __name__ == "__main__":
+    main()

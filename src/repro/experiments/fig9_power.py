@@ -1,0 +1,143 @@
+"""Figure 9: system memory + disk power and network bandwidth.
+
+Two platform pairs, each run on its macro workload:
+
+* dbt2:      512MB DRAM + disk   vs  256MB DRAM + 1GB Flash + disk
+* SPECWeb99: 512MB DRAM + disk   vs  128MB DRAM + 2GB Flash + disk
+
+(the paper pairs equal die area: Flash is ~2x denser than DRAM per Table
+1, so 256MB of DRAM trades for ~1GB of MLC Flash).  Reported per
+configuration: memory read/write/idle power, disk power, and the achieved
+network bandwidth normalised to the DRAM-only baseline.  Shapes to match:
+the Flash configuration cuts combined memory+disk power by ~2-3x while
+holding or improving bandwidth.
+
+All capacities and footprints are scaled down by a common divisor for
+simulation speed; power *ratios* survive scaling because busy fractions
+and hit rates are preserved.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List
+
+from ..core.hierarchy import DramOnlySystem, SystemConfig, build_flash_system
+from ..power.models import PowerBreakdown
+from ..sim.engine import SimulationReport, run_trace
+from ..workloads.macro import build_workload
+from ..workloads.trace import PAGE_BYTES
+
+__all__ = ["Fig9Config", "Fig9Result", "FIG9_CONFIGS", "run_power_comparison"]
+
+
+@dataclass(frozen=True)
+class Fig9Config:
+    """One Figure 9 panel: a workload and its two platforms."""
+
+    workload: str
+    footprint_bytes: int
+    baseline_dram_bytes: int
+    flash_dram_bytes: int
+    flash_bytes: int
+
+
+FIG9_CONFIGS: Dict[str, Fig9Config] = {
+    "dbt2": Fig9Config(
+        workload="dbt2",
+        footprint_bytes=2 << 30,
+        baseline_dram_bytes=512 << 20,
+        flash_dram_bytes=256 << 20,
+        flash_bytes=1 << 30,
+    ),
+    "specweb99": Fig9Config(
+        workload="specweb99",
+        footprint_bytes=int(1.8 * (1 << 30)),
+        baseline_dram_bytes=512 << 20,
+        flash_dram_bytes=128 << 20,
+        flash_bytes=2 << 30,
+    ),
+}
+
+
+@dataclass(frozen=True)
+class Fig9Result:
+    """Both bars of one panel plus the normalised bandwidth."""
+
+    workload: str
+    baseline: PowerBreakdown
+    flash: PowerBreakdown
+
+    @property
+    def power_ratio(self) -> float:
+        """Baseline power over Flash-config power (paper: up to ~3x)."""
+        return self.baseline.total_w / self.flash.total_w
+
+    @property
+    def relative_bandwidth(self) -> float:
+        """Flash-config bandwidth normalised to the baseline."""
+        return (self.flash.throughput_rps
+                / max(self.baseline.throughput_rps, 1e-9))
+
+
+def run_power_comparison(workload: str = "dbt2",
+                         scale_divisor: int = 64,
+                         num_records: int = 150_000,
+                         warmup_records: int = 100_000,
+                         seed: int = 13) -> Fig9Result:
+    """Run one Figure 9 panel (both platform configurations).
+
+    Each platform first replays ``warmup_records`` to populate its caches,
+    then resets the time/energy accounting and measures the steady state —
+    the regime Figure 9 reports.
+    """
+    config = FIG9_CONFIGS[workload]
+    footprint_pages = max(config.footprint_bytes // scale_divisor
+                          // PAGE_BYTES, 1)
+    warmup = build_workload(config.workload, num_records=warmup_records,
+                            seed=seed + 1, footprint_pages=footprint_pages)
+    records = build_workload(config.workload, num_records=num_records,
+                             seed=seed, footprint_pages=footprint_pages)
+
+    baseline_system = DramOnlySystem(SystemConfig(
+        dram_bytes=max(config.baseline_dram_bytes // scale_divisor,
+                       PAGE_BYTES),
+        power_model_dram_bytes=config.baseline_dram_bytes))
+    baseline_system.run(warmup)
+    baseline_system.reset_measurement()
+    baseline_report: SimulationReport = run_trace(baseline_system, records)
+
+    flash_system = build_flash_system(
+        dram_bytes=max(config.flash_dram_bytes // scale_divisor, PAGE_BYTES),
+        flash_bytes=max(config.flash_bytes // scale_divisor, 1 << 20),
+        power_model_dram_bytes=config.flash_dram_bytes,
+    )
+    flash_system.run(warmup)
+    flash_system.reset_measurement()
+    flash_report = run_trace(flash_system, records)
+
+    return Fig9Result(
+        workload=workload,
+        baseline=baseline_report.power,
+        flash=flash_report.power,
+    )
+
+
+def main() -> None:
+    for workload in FIG9_CONFIGS:
+        result = run_power_comparison(workload)
+        print(f"Figure 9 ({workload})")
+        for label, power in (("DRAM-only", result.baseline),
+                             ("DRAM+Flash", result.flash)):
+            print(f"  {label:11s} rd={power.mem_read_w:6.3f}W "
+                  f"wr={power.mem_write_w:6.3f}W "
+                  f"idle={power.mem_idle_w:6.3f}W "
+                  f"disk={power.disk_w:6.3f}W "
+                  f"total={power.total_w:6.3f}W")
+        print(f"  power ratio {result.power_ratio:.2f}x, "
+              f"relative bandwidth {result.relative_bandwidth:.2f}")
+        print()
+
+
+if __name__ == "__main__":
+    main()

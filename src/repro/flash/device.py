@@ -1,0 +1,409 @@
+"""Functional dual-mode NAND Flash device simulator.
+
+This is the silicon substrate under the paper's disk cache: a NAND array
+with real NAND semantics —
+
+* **erase-before-write**: a page programs exactly once per erase cycle;
+  re-programming without an intervening block erase raises
+  :class:`ProgramError` (this is the physical constraint that forces the
+  cache layer into out-of-place writes and garbage collection);
+* **block-granular erase**: pages share fate with their block;
+* **per-frame density mode**: each page frame can be (re)configured as SLC
+  (one page, fast, robust) or MLC (two pages, dense, fragile) when its
+  block is erased, following the dual-mode designs of Cho et al. that the
+  paper builds on (section 4.2);
+* **wear**: every erase cycle deposits one damage unit in each frame; on a
+  read, the number of raw bit errors equals the number of cells whose
+  sampled failure threshold lies below the frame's *effective* damage —
+  damage times an MLC read-margin sensitivity of 10x, which reproduces the
+  Table 1 endurance gap (100k SLC vs 10k MLC cycles) and makes the
+  MLC->SLC density switch a genuine reliability lever;
+* **timing and energy**: every operation returns its Table 2/3 latency and
+  accumulates active energy.
+
+Payload storage is optional (``store_data=True``): functional ECC tests
+store and corrupt real bytes, while the large trace-driven simulations run
+metadata-only for speed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, List, Optional
+
+from .geometry import FlashGeometry, PageAddress, DEFAULT_GEOMETRY
+from .timing import (
+    CellMode,
+    FlashPower,
+    FlashTiming,
+    DEFAULT_FLASH_POWER,
+    DEFAULT_FLASH_TIMING,
+)
+from .wear import CellLifetimeModel, PageFailureSampler
+
+__all__ = [
+    "FlashDeviceError",
+    "ProgramError",
+    "EraseError",
+    "PageState",
+    "ReadResult",
+    "ProgramResult",
+    "EraseResult",
+    "FlashStats",
+    "FlashDevice",
+    "MLC_READ_SENSITIVITY",
+]
+
+#: Effective-damage multiplier for MLC reads: MLC sensing margins are ~10x
+#: tighter, which is exactly the Table 1 endurance ratio (100k/10k).
+MLC_READ_SENSITIVITY = 10.0
+
+
+class FlashDeviceError(Exception):
+    """Base class for NAND protocol violations."""
+
+
+class ProgramError(FlashDeviceError):
+    """Raised when programming a page that is not in the erased state."""
+
+
+class EraseError(FlashDeviceError):
+    """Raised on invalid erase requests (e.g. bad block index)."""
+
+
+class PageState:
+    """Page lifecycle states (module-level constants, not an Enum, because
+    the trace simulator touches these in hot loops)."""
+
+    ERASED = 0
+    PROGRAMMED = 1
+
+
+@dataclass(frozen=True)
+class ReadResult:
+    """Outcome of a page read."""
+
+    latency_us: float
+    raw_bit_errors: int
+    data: Optional[bytes]
+    mode: CellMode
+
+
+@dataclass(frozen=True)
+class ProgramResult:
+    latency_us: float
+    mode: CellMode
+
+
+@dataclass(frozen=True)
+class EraseResult:
+    latency_us: float
+    erase_count: int
+
+
+@dataclass
+class FlashStats:
+    """Cumulative operation counts, busy time (per kind), and energy."""
+
+    reads: int = 0
+    programs: int = 0
+    erases: int = 0
+    busy_us: float = 0.0
+    read_busy_us: float = 0.0
+    program_busy_us: float = 0.0
+    erase_busy_us: float = 0.0
+    energy_j: float = 0.0
+
+    def record(self, latency_us: float, active_w: float,
+               kind: str = "read") -> None:
+        self.busy_us += latency_us
+        if kind == "read":
+            self.read_busy_us += latency_us
+        elif kind == "program":
+            self.program_busy_us += latency_us
+        else:
+            self.erase_busy_us += latency_us
+        self.energy_j += active_w * latency_us * 1e-6
+
+    def idle_energy(self, total_us: float, idle_w: float) -> float:
+        """Idle energy over a wall-clock window of ``total_us``."""
+        idle_us = max(total_us - self.busy_us, 0.0)
+        return idle_w * idle_us * 1e-6
+
+
+@dataclass
+class _Frame:
+    """One physical page frame: mode, per-subpage state, wear."""
+
+    mode: CellMode
+    states: List[int]
+    data: Optional[List[Optional[bytes]]]
+    damage: float = 0.0
+    sampler: Optional[PageFailureSampler] = None
+
+
+class FlashDevice:
+    """The functional dual-mode NAND array.
+
+    Parameters
+    ----------
+    geometry:
+        Array dimensions; defaults to 2KB pages, 64-frame blocks.
+    timing, power:
+        Latency/power constants (Tables 2/3).
+    lifetime_model:
+        Wear model used to sample per-frame cell-failure thresholds.  Pass
+        ``None`` to disable wear entirely (reads report zero raw errors) —
+        useful for pure capacity/latency studies.
+    initial_mode:
+        Density mode every frame starts in (the paper's device boots MLC).
+    store_data:
+        Keep page payloads in memory so reads return real bytes.
+    seed:
+        Seed for the wear-threshold sampling RNG.
+    soft_error_rate_per_bit:
+        Probability of a *transient* (retention / read-disturb) bit error
+        per cell per read.  Table 1 specifies 10-20 year retention, so the
+        default is zero; reliability studies can raise it to exercise the
+        ECC path with soft errors that, unlike wear-out, do not persist.
+    """
+
+    def __init__(
+        self,
+        geometry: FlashGeometry = DEFAULT_GEOMETRY,
+        timing: FlashTiming = DEFAULT_FLASH_TIMING,
+        power: FlashPower = DEFAULT_FLASH_POWER,
+        lifetime_model: Optional[CellLifetimeModel] = None,
+        initial_mode: CellMode = CellMode.MLC,
+        store_data: bool = False,
+        seed: int = 0,
+        soft_error_rate_per_bit: float = 0.0,
+    ):
+        if soft_error_rate_per_bit < 0 or soft_error_rate_per_bit > 1:
+            raise ValueError("soft_error_rate_per_bit must be in [0, 1]")
+        self.geometry = geometry
+        self.timing = timing
+        self.power = power
+        self.lifetime_model = lifetime_model
+        self.initial_mode = initial_mode
+        self.store_data = store_data
+        self.soft_error_rate_per_bit = soft_error_rate_per_bit
+        self.stats = FlashStats()
+        self._rng = Random(seed)
+        self._erase_counts: List[int] = [0] * geometry.num_blocks
+        # Frames are created lazily: large devices in metadata-only runs
+        # only materialise the blocks a workload actually touches.
+        self._frames: Dict[tuple[int, int], _Frame] = {}
+
+    # -- frame bookkeeping ----------------------------------------------------
+
+    def _frame(self, block: int, frame: int) -> _Frame:
+        key = (block, frame)
+        existing = self._frames.get(key)
+        if existing is not None:
+            return existing
+        created = _Frame(
+            mode=self.initial_mode,
+            states=[PageState.ERASED] * self.geometry.pages_per_frame(
+                self.initial_mode
+            ),
+            data=(
+                [None] * self.geometry.pages_per_frame(self.initial_mode)
+                if self.store_data else None
+            ),
+        )
+        self._frames[key] = created
+        return created
+
+    def _sampler(self, frame: _Frame) -> PageFailureSampler:
+        if frame.sampler is None:
+            frame.sampler = PageFailureSampler(
+                model=self.lifetime_model,  # type: ignore[arg-type]
+                n_cells=self.geometry.cells_per_frame,
+                rng=Random(self._rng.getrandbits(64)),
+            )
+        return frame.sampler
+
+    def frame_mode(self, block: int, frame: int) -> CellMode:
+        return self._frame(block, frame).mode
+
+    def erase_count(self, block: int) -> int:
+        self._check_block(block)
+        return self._erase_counts[block]
+
+    def frame_damage(self, block: int, frame: int) -> float:
+        return self._frame(block, frame).damage
+
+    def page_state(self, address: PageAddress) -> int:
+        frame = self._frame(address.block, address.frame)
+        self.geometry.validate_address(address, frame.mode)
+        return frame.states[address.subpage]
+
+    # -- NAND operations --------------------------------------------------------
+
+    def read_page(self, address: PageAddress) -> ReadResult:
+        """Read one page: returns latency, raw bit errors, optional data."""
+        frame = self._frame(address.block, address.frame)
+        self.geometry.validate_address(address, frame.mode)
+        latency = self.timing.read_us(frame.mode)
+        self.stats.reads += 1
+        self.stats.record(latency, self.power.active_w, kind="read")
+        return ReadResult(
+            latency_us=latency,
+            raw_bit_errors=self._raw_bit_errors(frame),
+            data=frame.data[address.subpage] if frame.data is not None else None,
+            mode=frame.mode,
+        )
+
+    def program_page(self, address: PageAddress,
+                     data: Optional[bytes] = None) -> ProgramResult:
+        """Program an erased page; raises :class:`ProgramError` otherwise."""
+        frame = self._frame(address.block, address.frame)
+        self.geometry.validate_address(address, frame.mode)
+        if frame.states[address.subpage] != PageState.ERASED:
+            raise ProgramError(
+                f"page {address} is not erased; NAND requires a block erase "
+                f"before reprogramming"
+            )
+        if data is not None and len(data) > self.geometry.page_data_bytes:
+            raise ValueError(
+                f"payload of {len(data)} bytes exceeds page size "
+                f"{self.geometry.page_data_bytes}"
+            )
+        frame.states[address.subpage] = PageState.PROGRAMMED
+        if frame.data is not None:
+            frame.data[address.subpage] = data
+        latency = self.timing.write_us(frame.mode)
+        self.stats.programs += 1
+        self.stats.record(latency, self.power.active_w, kind="program")
+        return ProgramResult(latency_us=latency, mode=frame.mode)
+
+    def erase_block(
+        self,
+        block: int,
+        new_modes: Optional[Dict[int, CellMode]] = None,
+    ) -> EraseResult:
+        """Erase a block, optionally reconfiguring frame density modes.
+
+        Mode changes take effect *at erase*, matching the controller
+        protocol in section 5.2 ("the updated page settings are applied on
+        the next erase and write access").  Each frame absorbs one damage
+        unit per erase cycle.
+        """
+        self._check_block(block)
+        latencies = []
+        for frame_index in range(self.geometry.frames_per_block):
+            frame = self._frame(block, frame_index)
+            latencies.append(self.timing.erase_us(frame.mode))
+            frame.damage += 1.0
+            if new_modes and frame_index in new_modes:
+                frame.mode = new_modes[frame_index]
+            pages = self.geometry.pages_per_frame(frame.mode)
+            frame.states = [PageState.ERASED] * pages
+            if self.store_data:
+                frame.data = [None] * pages
+        # The block erases as one pulse train; its latency is set by the
+        # slowest frame mode present (MLC needs the longer staircase).
+        latency = max(latencies)
+        self._erase_counts[block] += 1
+        self.stats.erases += 1
+        self.stats.record(latency, self.power.active_w, kind="erase")
+        return EraseResult(latency_us=latency,
+                           erase_count=self._erase_counts[block])
+
+    # -- wear/error injection ---------------------------------------------------
+
+    def _raw_bit_errors(self, frame: _Frame) -> int:
+        errors = self._transient_errors()
+        if self.lifetime_model is None or frame.damage <= 0:
+            return errors
+        sensitivity = (
+            MLC_READ_SENSITIVITY if frame.mode is CellMode.MLC else 1.0
+        )
+        return errors + self._sampler(frame).failed_cells(
+            frame.damage * sensitivity)
+
+    def _transient_errors(self) -> int:
+        """Soft (non-persistent) errors for one read: Poisson-distributed
+        with mean cells * rate, which is exact in the rare-error regime."""
+        rate = self.soft_error_rate_per_bit
+        if rate <= 0.0:
+            return 0
+        mean = rate * self.geometry.cells_per_frame
+        # Knuth's algorithm suffices for the small means reliability
+        # studies use (mean >> 10 would make every read uncorrectable).
+        import math
+        limit = math.exp(-mean)
+        count, product = 0, self._rng.random()
+        while product > limit:
+            count += 1
+            product *= self._rng.random()
+        return count
+
+    def raw_bit_errors_at(self, block: int, frame: int) -> int:
+        """Current raw error count for a frame without a timed read."""
+        return self._raw_bit_errors(self._frame(block, frame))
+
+    def age_block(self, block: int, cycles: float) -> None:
+        """Deposit ``cycles`` W/E cycles of damage in every frame of a block
+        without simulating each erase individually.
+
+        Used by the accelerated (event-driven) lifetime simulations of
+        Figures 11/12, where millions of W/E cycles elapse between
+        interesting reliability events.  Page states are untouched — the
+        caller represents steady-state rewrite traffic, after which the
+        pages hold fresh data again.
+        """
+        self._check_block(block)
+        if cycles < 0:
+            raise ValueError("cycles must be non-negative")
+        for frame_index in range(self.geometry.frames_per_block):
+            self._frame(block, frame_index).damage += cycles
+        self._erase_counts[block] += int(cycles)
+
+    def next_error_damage(self, block: int, frame: int,
+                          error_index: int) -> float:
+        """Damage level (in W/E cycles as seen by an SLC read) at which the
+        frame's ``error_index + 1``-th cell fails.
+
+        Divide by :data:`MLC_READ_SENSITIVITY` for the cycle count at which
+        an MLC read observes that failure.  ``math.inf`` when the device
+        has no wear model.
+        """
+        if self.lifetime_model is None:
+            return float("inf")
+        return self._sampler(self._frame(block, frame)) \
+            .next_failure_damage(error_index)
+
+    def frame_read_sensitivity(self, block: int, frame: int) -> float:
+        """Effective-damage multiplier of the frame's current mode."""
+        mode = self._frame(block, frame).mode
+        return MLC_READ_SENSITIVITY if mode is CellMode.MLC else 1.0
+
+    # -- capacity ----------------------------------------------------------------
+
+    def block_capacity_pages(self, block: int) -> int:
+        """Logical pages the block currently provides given frame modes."""
+        self._check_block(block)
+        total = 0
+        for frame_index in range(self.geometry.frames_per_block):
+            total += self.geometry.pages_per_frame(
+                self._frame(block, frame_index).mode
+            )
+        return total
+
+    def _check_block(self, block: int) -> None:
+        if not 0 <= block < self.geometry.num_blocks:
+            raise EraseError(
+                f"block {block} out of range "
+                f"(device has {self.geometry.num_blocks} blocks)"
+            )
+
+    def __repr__(self) -> str:
+        g = self.geometry
+        return (
+            f"FlashDevice(blocks={g.num_blocks}, "
+            f"frames_per_block={g.frames_per_block}, "
+            f"initial_mode={self.initial_mode.value})"
+        )

@@ -1,0 +1,181 @@
+"""Device timing, power, and density constants (paper Tables 1–3).
+
+Every latency and power number the paper's evaluation uses is collected
+here, in one place, with the table it came from.  All latencies are in
+microseconds and all powers in watts unless a name says otherwise.
+
+* Table 1 — ITRS 2007 roadmap: cell density (um^2/bit) for SLC/MLC NAND and
+  DRAM, write/erase endurance, and data retention, for 2007–2015.
+* Table 2 — measured device characteristics: 1Gb DDR2 DRAM, 1Gb SLC NAND,
+  4Gb MLC NAND, and a hard disk drive.
+* Table 3 — the simulated platform configuration (latencies the system
+  simulator plugs in, including the 4.2 ms IDE disk and 58–400 us BCH).
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass
+from typing import Dict
+
+__all__ = [
+    "CellMode",
+    "FlashTiming",
+    "FlashPower",
+    "DramTiming",
+    "DramPower",
+    "DiskTiming",
+    "DiskPower",
+    "ITRSEntry",
+    "ITRS_ROADMAP",
+    "SLC_ENDURANCE_CYCLES",
+    "MLC_ENDURANCE_CYCLES",
+    "DEFAULT_FLASH_TIMING",
+    "DEFAULT_FLASH_POWER",
+    "DEFAULT_DRAM_TIMING",
+    "DEFAULT_DRAM_POWER",
+    "DEFAULT_DISK_TIMING",
+    "DEFAULT_DISK_POWER",
+]
+
+
+class CellMode(enum.Enum):
+    """NAND cell density mode.
+
+    The paper's dual-mode device stores 2 bits/cell in MLC mode; the
+    programmable controller can fall back to SLC (1 bit/cell) per page for
+    lower latency and ~10x endurance (Table 1, section 4.2).
+    """
+
+    SLC = "slc"
+    MLC = "mlc"
+
+    @property
+    def bits_per_cell(self) -> int:
+        return 1 if self is CellMode.SLC else 2
+
+
+#: Write/erase endurance from Table 1 (2007/2009 columns, the configuration
+#: years of the paper's platform).
+SLC_ENDURANCE_CYCLES = 100_000
+MLC_ENDURANCE_CYCLES = 10_000
+
+
+@dataclass(frozen=True)
+class FlashTiming:
+    """Per-mode NAND latencies in microseconds (Tables 2 and 3)."""
+
+    slc_read_us: float = 25.0
+    slc_write_us: float = 200.0
+    slc_erase_us: float = 1_500.0
+    mlc_read_us: float = 50.0
+    mlc_write_us: float = 680.0
+    mlc_erase_us: float = 3_300.0
+
+    def read_us(self, mode: CellMode) -> float:
+        return self.slc_read_us if mode is CellMode.SLC else self.mlc_read_us
+
+    def write_us(self, mode: CellMode) -> float:
+        return self.slc_write_us if mode is CellMode.SLC else self.mlc_write_us
+
+    def erase_us(self, mode: CellMode) -> float:
+        return self.slc_erase_us if mode is CellMode.SLC else self.mlc_erase_us
+
+
+@dataclass(frozen=True)
+class FlashPower:
+    """NAND power in watts (Table 2: 27 mW active, 6 uW idle for 1Gb SLC)."""
+
+    active_w: float = 0.027
+    idle_w: float = 6e-6
+
+
+@dataclass(frozen=True)
+class DramTiming:
+    """DDR2 DRAM latencies (Tables 2/3: 55 ns access, tRC = 50 ns)."""
+
+    access_ns: float = 55.0
+    trc_ns: float = 50.0
+
+    @property
+    def access_us(self) -> float:
+        return self.access_ns / 1000.0
+
+
+@dataclass(frozen=True)
+class DramPower:
+    """DDR2 DRAM power per 1Gb device (Table 2).
+
+    ``idle_active_w`` is idle power with the device in active mode;
+    ``idle_powerdown_w`` is the power-down idle state (footnote: 18 mW).
+    Read and write powers follow the Micron power-calculator convention the
+    paper used: active power is drawn while a read or write burst is in
+    flight, idle power the rest of the time.
+    """
+
+    active_w: float = 0.878
+    idle_active_w: float = 0.080
+    idle_powerdown_w: float = 0.018
+
+
+@dataclass(frozen=True)
+class DiskTiming:
+    """Hard-drive latencies.
+
+    Table 2 lists 8.5/9.5 ms read/write for a 750GB Barracuda; the simulated
+    platform (Table 3) uses a laptop IDE disk with a 4.2 ms average access.
+    """
+
+    read_ms: float = 8.5
+    write_ms: float = 9.5
+    average_access_ms: float = 4.2
+
+    @property
+    def average_access_us(self) -> float:
+        return self.average_access_ms * 1000.0
+
+
+@dataclass(frozen=True)
+class DiskPower:
+    """HDD power (Table 2: 13.0 W active, 9.3 W idle for the 750GB drive;
+    the paper's scaled experiments use laptop-drive numbers, see
+    :mod:`repro.disk.model`)."""
+
+    active_w: float = 13.0
+    idle_w: float = 9.3
+
+
+@dataclass(frozen=True)
+class ITRSEntry:
+    """One column of Table 1 (a roadmap year)."""
+
+    year: int
+    nand_slc_um2_per_bit: float
+    nand_mlc_um2_per_bit: float
+    dram_um2_per_bit: float
+    slc_endurance: int
+    mlc_endurance: int
+    retention_years_min: int
+    retention_years_max: int
+
+    @property
+    def mlc_density_advantage_over_dram(self) -> float:
+        """How many times denser MLC NAND is than DRAM that year."""
+        return self.dram_um2_per_bit / self.nand_mlc_um2_per_bit
+
+
+#: Table 1, verbatim.
+ITRS_ROADMAP: Dict[int, ITRSEntry] = {
+    2007: ITRSEntry(2007, 0.0130, 0.0065, 0.0324, 100_000, 10_000, 10, 20),
+    2009: ITRSEntry(2009, 0.0081, 0.0041, 0.0153, 100_000, 10_000, 10, 20),
+    2011: ITRSEntry(2011, 0.0052, 0.0013, 0.0096, 1_000_000, 10_000, 10, 20),
+    2013: ITRSEntry(2013, 0.0031, 0.0008, 0.0061, 1_000_000, 10_000, 20, 20),
+    2015: ITRSEntry(2015, 0.0021, 0.0005, 0.0038, 1_000_000, 10_000, 20, 20),
+}
+
+DEFAULT_FLASH_TIMING = FlashTiming()
+DEFAULT_FLASH_POWER = FlashPower()
+DEFAULT_DRAM_TIMING = DramTiming()
+DEFAULT_DRAM_POWER = DramPower()
+DEFAULT_DISK_TIMING = DiskTiming()
+DEFAULT_DISK_POWER = DiskPower()

@@ -1,0 +1,5 @@
+"""Power accounting for the Figure 9 evaluation."""
+
+from .models import PowerBreakdown, system_power_breakdown
+
+__all__ = ["PowerBreakdown", "system_power_breakdown"]

@@ -1,0 +1,89 @@
+"""System power accounting (Figure 9).
+
+Figure 9 reports, for each platform configuration, the average power of
+the *system memory + disk* subsystem broken into four stacked components —
+memory read power, memory write power, memory idle power, and disk power —
+with the achieved network bandwidth on the secondary axis.  "System
+memory" covers DRAM and (when present) the NAND Flash, whose active energy
+is split between the read and write components in proportion to its
+per-kind busy time; NAND idle power (6 uW) joins the idle component.
+
+:func:`system_power_breakdown` derives the whole figure from a simulated
+system's accumulated component statistics.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..core.hierarchy import DramOnlySystem, FlashBackedSystem
+
+__all__ = ["PowerBreakdown", "system_power_breakdown"]
+
+
+@dataclass(frozen=True)
+class PowerBreakdown:
+    """Average power in watts over the simulated window (Figure 9 bars)."""
+
+    mem_read_w: float
+    mem_write_w: float
+    mem_idle_w: float
+    disk_w: float
+    wall_clock_us: float
+    throughput_rps: float
+
+    @property
+    def memory_w(self) -> float:
+        return self.mem_read_w + self.mem_write_w + self.mem_idle_w
+
+    @property
+    def total_w(self) -> float:
+        """Memory + disk: the paper's 'overall power' axis."""
+        return self.memory_w + self.disk_w
+
+    def as_dict(self) -> dict[str, float]:
+        return {
+            "mem_read_w": self.mem_read_w,
+            "mem_write_w": self.mem_write_w,
+            "mem_idle_w": self.mem_idle_w,
+            "disk_w": self.disk_w,
+            "total_w": self.total_w,
+            "throughput_rps": self.throughput_rps,
+        }
+
+
+def system_power_breakdown(system: DramOnlySystem | FlashBackedSystem
+                           ) -> PowerBreakdown:
+    """Compute the Figure 9 power split for a finished simulation."""
+    wall_us = system.wall_clock_us
+    if wall_us <= 0:
+        raise ValueError("system has not processed any requests")
+    window_s = wall_us * 1e-6
+
+    dram_split = system.dram.energy_breakdown(wall_us)
+    mem_read_j = dram_split.read_j
+    mem_write_j = dram_split.write_j
+    mem_idle_j = dram_split.idle_j
+
+    if isinstance(system, FlashBackedSystem):
+        device = system.flash.controller.device
+        stats = device.stats
+        # Split Flash active energy by busy time: reads to the read bar,
+        # programs + erases to the write bar (both are write-path work).
+        if stats.busy_us > 0:
+            read_share = stats.read_busy_us / stats.busy_us
+        else:
+            read_share = 0.0
+        mem_read_j += stats.energy_j * read_share
+        mem_write_j += stats.energy_j * (1.0 - read_share)
+        mem_idle_j += stats.idle_energy(wall_us, device.power.idle_w)
+
+    disk_j = system.disk.energy_j(wall_us)
+    return PowerBreakdown(
+        mem_read_w=mem_read_j / window_s,
+        mem_write_w=mem_write_j / window_s,
+        mem_idle_w=mem_idle_j / window_s,
+        disk_w=disk_j / window_s,
+        wall_clock_us=wall_us,
+        throughput_rps=system.throughput_rps(),
+    )

@@ -1,0 +1,25 @@
+"""Simulation layer: platform config, trace engine, server model, aging."""
+
+from .config import PlatformConfig, TABLE3_PLATFORM
+from .engine import SimulationReport, run_trace
+from .server import ServerModel
+from .lifetime import (
+    AgingConfig,
+    AgingResult,
+    LifetimeSimulator,
+    simulate_lifetime,
+    lifetime_ratio,
+)
+
+__all__ = [
+    "PlatformConfig",
+    "TABLE3_PLATFORM",
+    "SimulationReport",
+    "run_trace",
+    "ServerModel",
+    "AgingConfig",
+    "AgingResult",
+    "LifetimeSimulator",
+    "simulate_lifetime",
+    "lifetime_ratio",
+]

@@ -1,0 +1,51 @@
+"""The simulated platform configuration (paper Table 3).
+
+One dataclass gathering every Table 3 row, so experiments reference the
+paper's configuration symbolically instead of re-typing magic numbers.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from ..flash.timing import (
+    DEFAULT_DISK_TIMING,
+    DEFAULT_DRAM_TIMING,
+    DEFAULT_FLASH_TIMING,
+    DiskTiming,
+    DramTiming,
+    FlashTiming,
+)
+
+__all__ = ["PlatformConfig", "TABLE3_PLATFORM"]
+
+
+@dataclass(frozen=True)
+class PlatformConfig:
+    """Table 3, verbatim."""
+
+    processor_cores: int = 8
+    processor_issue: str = "single issue in-order"
+    clock_hz: float = 1e9
+    l1_ways: int = 4
+    l1_bytes: int = 16 << 10
+    l2_ways: int = 8
+    l2_bytes: int = 2 << 20
+    dram_bytes_min: int = 128 << 20
+    dram_bytes_max: int = 512 << 20
+    dram: DramTiming = DEFAULT_DRAM_TIMING
+    flash_bytes_min: int = 256 << 20
+    flash_bytes_max: int = 2 << 30
+    flash: FlashTiming = DEFAULT_FLASH_TIMING
+    bch_latency_min_us: float = 58.0
+    bch_latency_max_us: float = 400.0
+    disk: DiskTiming = DEFAULT_DISK_TIMING
+
+    @property
+    def dram_dimm_range(self) -> tuple[int, int]:
+        """1-4 DIMMs of 128MB (Table 3: "128~512MB (1~4 DIMMs)")."""
+        return (self.dram_bytes_min // (128 << 20),
+                self.dram_bytes_max // (128 << 20))
+
+
+TABLE3_PLATFORM = PlatformConfig()

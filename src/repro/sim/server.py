@@ -1,0 +1,67 @@
+"""Server throughput model (network-bandwidth proxy).
+
+The paper measures dbt2 and SPECWeb99 *network bandwidth* on an 8-core M5
+platform (Table 3).  In a storage-bound server the sustained request rate
+is set by three ceilings, and bandwidth is proportional to whichever binds
+first:
+
+* **closed-loop latency**: with ``concurrency`` in-flight clients each
+  request costs CPU work plus the storage-stack latency;
+* **CPU**: at most ``cores / cpu_us`` requests per microsecond;
+* **device saturation**: a request cannot complete faster than the
+  storage bottleneck's busy time per request (this is how BCH decode
+  latency, which occupies the Flash controller, degrades throughput in
+  Figure 10 even when individual request latency barely moves).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+__all__ = ["ServerModel"]
+
+
+@dataclass(frozen=True)
+class ServerModel:
+    """Closed-loop multi-core server throughput."""
+
+    cores: int = 8
+    concurrency: int = 64
+    cpu_us_per_request: float = 50.0
+    response_bytes: int = 2048
+
+    def __post_init__(self) -> None:
+        if self.cores < 1 or self.concurrency < 1:
+            raise ValueError("cores and concurrency must be >= 1")
+        if self.cpu_us_per_request <= 0:
+            raise ValueError("cpu_us_per_request must be positive")
+
+    def throughput_rps(self, storage_latency_us: float,
+                       bottleneck_busy_us_per_request: float = 0.0) -> float:
+        """Sustained requests/second for the given storage behaviour."""
+        if storage_latency_us < 0 or bottleneck_busy_us_per_request < 0:
+            raise ValueError("latencies must be non-negative")
+        request_time_us = self.cpu_us_per_request + storage_latency_us
+        closed_loop = self.concurrency / request_time_us
+        cpu_bound = self.cores / self.cpu_us_per_request
+        rate_per_us = min(closed_loop, cpu_bound)
+        if bottleneck_busy_us_per_request > 0:
+            rate_per_us = min(rate_per_us,
+                              1.0 / bottleneck_busy_us_per_request)
+        return rate_per_us * 1e6
+
+    def network_bandwidth_bytes_per_s(
+            self, storage_latency_us: float,
+            bottleneck_busy_us_per_request: float = 0.0) -> float:
+        return self.response_bytes * self.throughput_rps(
+            storage_latency_us, bottleneck_busy_us_per_request)
+
+    def relative_bandwidth(self, baseline_latency_us: float,
+                           latency_us: float,
+                           baseline_busy_us: float = 0.0,
+                           busy_us: float = 0.0) -> float:
+        """Bandwidth normalised to a baseline configuration (Figure 10)."""
+        baseline = self.throughput_rps(baseline_latency_us, baseline_busy_us)
+        if baseline == 0:
+            raise ValueError("baseline throughput is zero")
+        return self.throughput_rps(latency_us, busy_us) / baseline

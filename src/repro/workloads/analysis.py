@@ -1,0 +1,193 @@
+"""Trace analysis: characterise a disk trace the way the paper does.
+
+The paper's methodology leans on workload *shape*: read/write mix,
+working-set size, and popularity tail length (Zipf-vs-exponential) drive
+the split-cache sizing (section 3.5), the SLC/MLC optimum (Figure 7), and
+the controller's repair choices (Figure 11).  This module extracts those
+properties from any trace — a generated one, or a real UMass SPC file —
+so users can (a) verify that the bundled generators match a real trace
+they hold and (b) feed measured popularity curves into
+:class:`~repro.core.density.DensityPartitionOptimizer`.
+
+The tail classifier fits both candidate models to the empirical
+rank-frequency curve:
+
+* Zipf:        log f(r) = c - alpha * log(r+1)
+* exponential: log f(r) = c - lam * r
+
+and reports the family with the smaller least-squares residual, together
+with the fitted parameter — the quantity Figure 11's x-axis orders by.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from dataclasses import dataclass
+from typing import Iterable, List, Sequence, Tuple
+
+from .synthetic import PopularityDistribution
+from .trace import PAGE_BYTES, TraceRecord
+
+__all__ = [
+    "TailFit",
+    "TraceProfile",
+    "popularity_counts",
+    "fit_tail",
+    "profile_trace",
+    "EmpiricalPopularity",
+]
+
+
+@dataclass(frozen=True)
+class TailFit:
+    """Best-fit popularity tail of a trace."""
+
+    family: str            # "zipf" | "exponential"
+    parameter: float       # alpha (zipf) or lambda (exponential)
+    zipf_residual: float
+    exponential_residual: float
+
+    @property
+    def is_long_tailed(self) -> bool:
+        """Long-tailed means the Zipf family fits better — the regime in
+        which Figure 11 shows ECC updates dominating."""
+        return self.family == "zipf"
+
+
+@dataclass(frozen=True)
+class TraceProfile:
+    """A trace's paper-relevant statistics."""
+
+    records: int
+    read_fraction: float
+    footprint_pages: int
+    footprint_bytes: int
+    top_1pct_mass: float       # popularity mass of the hottest 1% of pages
+    tail: TailFit
+
+    def summary(self) -> str:
+        return (f"{self.records} records, {self.read_fraction:.0%} reads, "
+                f"{self.footprint_bytes / (1 << 20):.1f}MB footprint, "
+                f"top-1% mass {self.top_1pct_mass:.0%}, "
+                f"{self.tail.family} tail "
+                f"(param {self.tail.parameter:.3g})")
+
+
+def popularity_counts(records: Iterable[TraceRecord]) -> List[int]:
+    """Per-page access counts, sorted most-popular first."""
+    counter: Counter[int] = Counter()
+    for record in records:
+        for page in record.expand():
+            counter[page] += 1
+    return sorted(counter.values(), reverse=True)
+
+
+def _least_squares(xs: Sequence[float], ys: Sequence[float]
+                   ) -> Tuple[float, float, float]:
+    """Fit y = a + b*x; returns (a, b, mean squared residual)."""
+    n = len(xs)
+    if n < 2:
+        raise ValueError("need at least two points to fit")
+    mean_x = sum(xs) / n
+    mean_y = sum(ys) / n
+    var_x = sum((x - mean_x) ** 2 for x in xs)
+    if var_x == 0:
+        return mean_y, 0.0, 0.0
+    cov = sum((x - mean_x) * (y - mean_y) for x, y in zip(xs, ys))
+    slope = cov / var_x
+    intercept = mean_y - slope * mean_x
+    residual = sum((y - (intercept + slope * x)) ** 2
+                   for x, y in zip(xs, ys)) / n
+    return intercept, slope, residual
+
+
+def fit_tail(counts: Sequence[int], max_points: int = 4096) -> TailFit:
+    """Classify a rank-frequency curve as Zipf or exponential.
+
+    Only pages with at least 2 accesses carry tail information; singleton
+    pages are the flat noise floor and are excluded from the fit.
+    """
+    informative = [count for count in counts if count >= 2]
+    if len(informative) < 3:
+        # Degenerate: everything touched once — indistinguishable from a
+        # uniform sweep, which the paper treats as the alpha -> 0 Zipf
+        # extreme.
+        return TailFit(family="zipf", parameter=0.0,
+                       zipf_residual=0.0, exponential_residual=0.0)
+    step = max(1, len(informative) // max_points)
+    ranks = list(range(0, len(informative), step))
+    log_freq = [math.log(informative[rank]) for rank in ranks]
+
+    _, zipf_slope, zipf_residual = _least_squares(
+        [math.log(rank + 1.0) for rank in ranks], log_freq)
+    _, exp_slope, exp_residual = _least_squares(
+        [float(rank) for rank in ranks], log_freq)
+
+    if zipf_residual <= exp_residual:
+        return TailFit(family="zipf", parameter=max(-zipf_slope, 0.0),
+                       zipf_residual=zipf_residual,
+                       exponential_residual=exp_residual)
+    return TailFit(family="exponential", parameter=max(-exp_slope, 0.0),
+                   zipf_residual=zipf_residual,
+                   exponential_residual=exp_residual)
+
+
+def profile_trace(records: Sequence[TraceRecord]) -> TraceProfile:
+    """Full paper-relevant profile of a trace."""
+    if not records:
+        raise ValueError("cannot profile an empty trace")
+    reads = sum(1 for record in records if record.is_read)
+    counts = popularity_counts(records)
+    total_accesses = sum(counts)
+    top = max(1, len(counts) // 100)
+    top_mass = sum(counts[:top]) / total_accesses
+    return TraceProfile(
+        records=len(records),
+        read_fraction=reads / len(records),
+        footprint_pages=len(counts),
+        footprint_bytes=len(counts) * PAGE_BYTES,
+        top_1pct_mass=top_mass,
+        tail=fit_tail(counts),
+    )
+
+
+class EmpiricalPopularity(PopularityDistribution):
+    """A popularity distribution measured from a trace.
+
+    Plugs a *real* trace's popularity curve into the Figure 7 partition
+    optimizer: ``DensityPartitionOptimizer(EmpiricalPopularity.from_trace(
+    records))``.
+    """
+
+    def __init__(self, counts: Sequence[int]):
+        if not counts:
+            raise ValueError("empirical distribution needs counts")
+        ordered = sorted(counts, reverse=True)
+        super().__init__(len(ordered))
+        total = float(sum(ordered))
+        self._probabilities = [count / total for count in ordered]
+        self._cdf: List[float] = []
+        acc = 0.0
+        for probability in self._probabilities:
+            acc += probability
+            self._cdf.append(acc)
+        self._cdf[-1] = 1.0
+
+    @classmethod
+    def from_trace(cls, records: Iterable[TraceRecord]
+                   ) -> "EmpiricalPopularity":
+        return cls(popularity_counts(records))
+
+    def sample_rank(self, u: float) -> int:
+        lo, hi = 0, self.n - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if self._cdf[mid] < u:
+                lo = mid + 1
+            else:
+                hi = mid
+        return lo
+
+    def rank_probability(self, rank: int) -> float:
+        return self._probabilities[rank]

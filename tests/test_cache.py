@@ -1,0 +1,275 @@
+"""Flash disk cache tests: hits/misses, out-of-place writes, GC,
+eviction, the read/write split, wear-leveling (sections 3.5, 3.6, 5.1)."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.cache import FlashCacheConfig, Region
+from repro.flash.timing import CellMode
+
+from .conftest import make_cache
+
+
+class TestConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            FlashCacheConfig(read_fraction=0.0)
+        with pytest.raises(ValueError):
+            FlashCacheConfig(gc_read_watermark=0.0)
+        with pytest.raises(ValueError):
+            FlashCacheConfig(wear_threshold=0.0)
+
+    def test_minimum_block_count(self):
+        with pytest.raises(ValueError):
+            make_cache(num_blocks=3)
+
+
+class TestBasicCaching:
+    def test_miss_then_fill_then_hit(self, split_cache):
+        assert split_cache.read(7) is None
+        split_cache.insert_clean(7)
+        outcome = split_cache.read(7)
+        assert outcome is not None and outcome.recovered
+        assert split_cache.stats.read_hits == 1
+        assert split_cache.stats.read_misses == 1
+
+    def test_write_then_read_hits_write_region(self, split_cache):
+        split_cache.write(9)
+        assert split_cache.contains(9)
+        assert split_cache.read(9).recovered
+        assert split_cache.is_dirty(9)
+
+    def test_rewrite_is_out_of_place(self, split_cache):
+        split_cache.write(5)
+        first = split_cache.fcht.lookup(5)
+        split_cache.write(5)
+        second = split_cache.fcht.lookup(5)
+        assert first != second
+        assert split_cache.stats.invalidations == 1
+
+    def test_write_invalidates_read_copy(self, split_cache):
+        split_cache.insert_clean(3)
+        read_address = split_cache.fcht.lookup(3)
+        split_cache.write(3)
+        assert split_cache.fcht.lookup(3) != read_address
+        entry = split_cache.controller.fpst.entry(read_address)
+        assert not entry.valid
+
+    def test_miss_rate_accounting(self, split_cache):
+        for lba in range(4):
+            split_cache.read(lba)
+            split_cache.insert_clean(lba)
+        for lba in range(4):
+            split_cache.read(lba)
+        assert split_cache.stats.read_miss_rate == pytest.approx(0.5)
+
+    def test_flush_cleans_dirty_pages(self, split_cache):
+        for lba in range(5):
+            split_cache.write(lba)
+        flushed = split_cache.flush()
+        assert sorted(flushed) == list(range(5))
+        assert split_cache.flush() == []  # idempotent
+        for lba in range(5):
+            assert not split_cache.is_dirty(lba)
+            assert split_cache.contains(lba)  # stays cached
+
+
+class TestCapacityAndEviction:
+    def test_read_region_eviction_on_pressure(self):
+        cache = make_cache(num_blocks=8)
+        capacity = cache.total_pages()
+        for lba in range(capacity * 2):
+            cache.read(lba)
+            cache.insert_clean(lba)
+        assert cache.stats.read_evictions > 0
+        # Evicted pages must no longer be addressable.
+        live = sum(1 for lba in range(capacity * 2) if cache.contains(lba))
+        assert live <= capacity
+
+    def test_write_eviction_flushes_dirty(self):
+        cache = make_cache(num_blocks=8)
+        flushed = []
+        for lba in range(cache.total_pages()):
+            flushed.extend(cache.write(lba).flushed_lbas)
+        assert flushed, "write-region overflow must flush dirty pages"
+        for lba in flushed:
+            assert not cache.contains(lba)
+
+    def test_clean_write_pages_evict_without_flush(self):
+        cache = make_cache(num_blocks=8)
+        region_pages = 0
+        lba = 0
+        # Fill the write region, then flush so everything is clean.
+        while cache.stats.write_evictions == 0:
+            cache.write(lba)
+            lba += 1
+        cache.flush()
+        first_flushes = cache.stats.flushed_pages
+        # Keep writing *new* pages: evictions recycle clean blocks.
+        start = lba
+        while cache.stats.write_evictions < 4:
+            outcome = cache.write(lba)
+            assert outcome.flushed_lbas == () or all(
+                key >= start for key in outcome.flushed_lbas)
+            lba += 1
+
+    def test_unified_keeps_everything_in_one_region(self, unified_cache):
+        unified_cache.insert_clean(1)
+        unified_cache.write(2)
+        assert unified_cache._read is unified_cache._write
+
+    def test_gc_reclaims_invalid_space(self):
+        # A 50/50 split gives the write region 8 blocks (one of them the
+        # GC reserve) so compaction, not eviction, serves the rewrites.
+        cache = make_cache(num_blocks=16, read_fraction=0.5)
+        hot = list(range(16))
+        for round_index in range(40):
+            for lba in hot:
+                cache.write(lba)
+        assert cache.stats.gc_runs > 0
+        # All hot pages still present despite heavy rewriting.
+        for lba in hot:
+            assert cache.contains(lba)
+
+    def test_gc_budget_limits_moves(self):
+        def churn(budget):
+            cache = make_cache(num_blocks=16, read_fraction=0.5,
+                               gc_move_budget=budget)
+            # Interleave hot rewrites with cold one-shot writes so every
+            # block ends up part-valid, making GC pay per-victim moves.
+            hot = cache.total_pages() // 8
+            for i in range(cache.total_pages() * 4):
+                cache.write(i % hot if i % 2 == 0 else 10_000 + i)
+            return cache.stats
+        unlimited = churn(None)
+        limited = churn(0.05)
+        assert limited.gc_page_moves < unlimited.gc_page_moves
+        # The shortfall shows up as extra evictions instead.
+        assert limited.write_evictions > unlimited.write_evictions
+
+    def test_ssd_mode_forbids_eviction(self):
+        cache = make_cache(num_blocks=8, split=False,
+                           allow_eviction_for_space=False)
+        footprint = int(cache.total_pages() * 0.5)
+        for lba in range(footprint):
+            cache.write(lba)
+        for round_index in range(3):
+            for lba in range(footprint):
+                cache.write(lba)
+        assert cache.stats.read_evictions == 0
+        assert cache.stats.write_evictions == 0
+        assert cache.stats.gc_runs > 0
+
+    def test_ssd_mode_raises_when_truly_full(self):
+        cache = make_cache(num_blocks=4, split=False,
+                           allow_eviction_for_space=False)
+        with pytest.raises(RuntimeError):
+            for lba in range(cache.total_pages() + 64):
+                cache.write(lba)
+
+
+class TestSplitStructure:
+    def test_regions_partition_blocks(self, split_cache):
+        read_blocks = split_cache._all_region_blocks(split_cache._read)
+        write_blocks = split_cache._all_region_blocks(split_cache._write)
+        assert not set(read_blocks) & set(write_blocks)
+        total = split_cache.controller.device.geometry.num_blocks
+        assert len(read_blocks) + len(write_blocks) == total
+
+    def test_read_fraction_respected(self):
+        cache = make_cache(num_blocks=20, read_fraction=0.9)
+        read_blocks = cache._all_region_blocks(cache._read)
+        assert len(read_blocks) == 18
+
+    def test_write_region_slc_formats_blocks(self):
+        cache = make_cache(num_blocks=8, write_region_slc=True)
+        cache.write(1)
+        region = cache._write
+        block = region.open_block
+        mode = cache.controller.device.frame_mode(block, 0)
+        assert mode is CellMode.SLC
+
+    def test_used_fraction_bounded(self):
+        cache = make_cache(num_blocks=8)
+        for lba in range(cache.total_pages() * 2):
+            cache.read(lba)
+            cache.insert_clean(lba)
+            if lba % 3 == 0:
+                cache.write(lba)
+        assert 0.0 <= cache.used_fraction() <= 1.0
+
+
+class TestWearLeveling:
+    def test_wear_swap_triggers_on_gap(self):
+        cache = make_cache(num_blocks=8, wear_threshold=5.0)
+        controller = cache.controller
+        # Manufacture a wear gap on the first *allocatable* read-region
+        # block (block 0 became the region's GC reserve at construction
+        # and is never an eviction victim).
+        victim_block = cache._read.free_blocks[0]
+        controller.fbst.entry(victim_block).erase_count = 1000
+        capacity = cache.total_pages()
+        for lba in range(capacity * 2):
+            cache.read(lba)
+            cache.insert_clean(lba)
+        assert cache.stats.wear_swaps > 0
+
+    def test_no_swap_below_threshold(self):
+        cache = make_cache(num_blocks=8, wear_threshold=1e9)
+        for lba in range(cache.total_pages() * 2):
+            cache.read(lba)
+            cache.insert_clean(lba)
+        assert cache.stats.wear_swaps == 0
+
+
+class TestInvariants:
+    """Structural invariants that must hold after any operation mix."""
+
+    def check(self, cache):
+        # Every FCHT mapping points at a valid FPST entry with that lba.
+        for lba, address in cache.fcht.items():
+            entry = cache.controller.fpst.get(address)
+            assert entry is not None and entry.valid
+            assert entry.lba == lba
+        # Valid sets and FCHT agree on total count.
+        total_valid = sum(len(pages) for region in cache._regions()
+                          for pages in region.valid.values())
+        assert total_valid == len(cache.fcht)
+        # Valid capacity never exceeds physical capacity.
+        assert cache.valid_pages() <= cache.total_pages()
+
+    @settings(max_examples=20, deadline=None)
+    @given(operations=st.lists(
+        st.tuples(st.sampled_from(["read", "write", "fill", "flush"]),
+                  st.integers(min_value=0, max_value=300)),
+        min_size=1, max_size=300))
+    def test_property_invariants_hold(self, operations):
+        cache = make_cache(num_blocks=8)
+        for op, lba in operations:
+            if op == "read":
+                outcome = cache.read(lba)
+                if outcome is None:
+                    cache.insert_clean(lba)
+            elif op == "write":
+                cache.write(lba)
+            elif op == "fill":
+                if not cache.contains(lba):
+                    cache.insert_clean(lba)
+            else:
+                cache.flush()
+        self.check(cache)
+
+    @settings(max_examples=10, deadline=None)
+    @given(lbas=st.lists(st.integers(min_value=0, max_value=50),
+                         min_size=1, max_size=200))
+    def test_property_last_write_wins(self, lbas):
+        """After any write sequence, each lba maps to exactly one page."""
+        cache = make_cache(num_blocks=8)
+        for lba in lbas:
+            cache.write(lba)
+        seen = {}
+        for lba, address in cache.fcht.items():
+            assert address not in seen.values()
+            seen[lba] = address

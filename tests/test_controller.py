@@ -1,0 +1,209 @@
+"""Programmable Flash memory controller tests (sections 4, 5.2)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.controller import (
+    ControllerConfig,
+    FixedEccController,
+    ProgrammableFlashController,
+    ReconfigKind,
+)
+from repro.flash.device import FlashDevice
+from repro.flash.geometry import FlashGeometry, PageAddress
+from repro.flash.timing import CellMode
+from repro.flash.wear import CellLifetimeModel, WearModelConfig
+
+
+def make_controller(worn=False, **config_kwargs):
+    geometry = FlashGeometry(frames_per_block=4, num_blocks=4)
+    device = FlashDevice(
+        geometry=geometry,
+        lifetime_model=CellLifetimeModel(WearModelConfig()) if worn else None,
+        initial_mode=CellMode.MLC,
+        seed=3,
+    )
+    return ProgrammableFlashController(
+        device, config=ControllerConfig(**config_kwargs))
+
+
+class TestDescriptors:
+    def test_descriptor_reflects_fpst(self):
+        controller = make_controller(initial_ecc_strength=2)
+        descriptor = controller.descriptor(PageAddress(0, 0, 0))
+        assert descriptor.ecc_strength == 2
+        assert descriptor.mode is CellMode.MLC
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ControllerConfig(max_ecc_strength=4, initial_ecc_strength=5)
+
+
+class TestTimedOperations:
+    def test_read_adds_decode_and_crc(self):
+        controller = make_controller()
+        result = controller.read(PageAddress(0, 0, 0))
+        raw = controller.device.timing.mlc_read_us
+        assert result.latency_us > raw
+        assert result.recovered
+        assert result.reconfig is None
+
+    def test_program_adds_encode(self):
+        controller = make_controller()
+        latency = controller.program(PageAddress(0, 0, 0), lba=5)
+        assert latency > controller.device.timing.mlc_write_us
+        entry = controller.fpst.entry(PageAddress(0, 0, 0))
+        assert entry.valid and entry.lba == 5
+
+    def test_stronger_code_costs_more(self):
+        weak = make_controller(initial_ecc_strength=1)
+        strong = make_controller(initial_ecc_strength=12)
+        assert (strong.read(PageAddress(0, 0, 0)).latency_us
+                > weak.read(PageAddress(0, 0, 0)).latency_us)
+
+    def test_erase_updates_fbst_and_resets_pages(self):
+        controller = make_controller()
+        controller.program(PageAddress(1, 0, 0), lba=9)
+        controller.erase(1)
+        assert controller.fbst.entry(1).erase_count == 1
+        entry = controller.fpst.entry(PageAddress(1, 0, 0))
+        assert not entry.valid and entry.lba is None
+
+    def test_ecc_strength_persists_across_erase(self):
+        """Strength tracks physical wear, so it must survive the erase."""
+        controller = make_controller()
+        address = PageAddress(0, 1, 0)
+        controller.fpst.entry(address).ecc_strength = 7
+        controller.erase(0)
+        assert controller.fpst.entry(address).ecc_strength == 7
+
+    def test_invalidate_clears_valid_bit(self):
+        controller = make_controller()
+        controller.program(PageAddress(0, 0, 0), lba=1)
+        controller.invalidate(PageAddress(0, 0, 0))
+        assert not controller.fpst.entry(PageAddress(0, 0, 0)).valid
+
+
+class TestDensityChangeAtErase:
+    def test_pended_slc_applied_at_erase(self):
+        controller = make_controller()
+        address = PageAddress(2, 1, 0)
+        controller.request_slc(address)
+        assert controller.device.frame_mode(2, 1) is CellMode.MLC
+        controller.erase(2)
+        assert controller.device.frame_mode(2, 1) is CellMode.SLC
+        assert controller.fbst.entry(2).total_slc_pages == 1
+
+    def test_subpage_entries_dropped_on_density_switch(self):
+        controller = make_controller()
+        controller.fpst.entry(PageAddress(2, 1, 1)).ecc_strength = 5
+        controller.request_slc(PageAddress(2, 1, 0))
+        controller.erase(2)
+        # subpage 1 no longer exists in SLC mode
+        assert controller.fpst.get(PageAddress(2, 1, 1)) is None
+
+    def test_pages_of_block_follows_modes(self):
+        controller = make_controller()
+        assert len(controller.pages_of_block(0)) == 8  # 4 frames x 2 MLC
+        controller.request_slc(PageAddress(0, 0, 0))
+        controller.erase(0)
+        assert len(controller.pages_of_block(0)) == 7
+
+
+class TestFaultResponse:
+    def _age_to_limit(self, controller, block=0, frame=0):
+        """Age a frame until its raw errors reach the page's strength."""
+        address = PageAddress(block, frame, 0)
+        strength = controller.fpst.entry(address).ecc_strength
+        threshold = controller.device.next_error_damage(
+            block, frame, strength - 1)
+        sensitivity = controller.device.frame_read_sensitivity(block, frame)
+        controller.device.age_block(block, threshold / sensitivity * 1.001)
+        return address
+
+    def test_reconfig_triggered_at_limit(self):
+        controller = make_controller(worn=True)
+        address = self._age_to_limit(controller)
+        result = controller.read(address)
+        assert result.reconfig is not None
+        assert controller.stats.descriptor_updates == 1
+
+    def test_cold_page_prefers_stronger_ecc(self):
+        """delta_tcs ~ freq * code_delay ~ 0 for a never-read page."""
+        controller = make_controller(worn=True)
+        address = self._age_to_limit(controller)
+        entry = controller.fpst.entry(address)
+        entry.access_count = 0
+        controller.fgst.total_accesses = 1_000_000
+        result = controller.read(address)
+        assert result.reconfig is ReconfigKind.CODE_STRENGTH
+        assert controller.fpst.entry(address).ecc_strength == 2
+
+    def test_hot_page_prefers_density_reduction(self):
+        controller = make_controller(worn=True)
+        controller.marginal_miss_estimate = 0.0  # short tail: free capacity
+        address = self._age_to_limit(controller)
+        entry = controller.fpst.entry(address)
+        entry.access_count = 500_000
+        controller.fgst.total_accesses = 1_000_000
+        result = controller.read(address)
+        assert result.reconfig is ReconfigKind.DENSITY
+
+    def test_exhausted_page_retires_block(self):
+        controller = make_controller(worn=True, max_ecc_strength=1,
+                                     initial_ecc_strength=1)
+        address = self._age_to_limit(controller)
+        entry = controller.fpst.entry(address)
+        entry.mode = CellMode.MLC
+        # Force SLC mode so neither repair is available.
+        controller.request_slc(address)
+        controller.erase(0)
+        address = self._age_to_limit(controller)
+        controller.read(address)
+        assert controller.is_retired(0)
+        assert controller.stats.blocks_retired == 1
+
+    def test_uncorrectable_read_reported(self):
+        controller = make_controller(worn=True)
+        address = PageAddress(0, 0, 0)
+        # Age far past the strength-1 limit so raw errors exceed t.
+        threshold = controller.device.next_error_damage(0, 0, 5)
+        controller.device.age_block(0, threshold)
+        result = controller.read(address)
+        assert not result.recovered
+        assert controller.stats.uncorrectable_reads == 1
+
+    def test_hot_promotion_flag_on_saturation(self):
+        controller = make_controller(counter_max=3)
+        address = PageAddress(0, 0, 0)
+        flags = [controller.read(address).hot_promotion for _ in range(4)]
+        assert flags[:2] == [False, False]
+        assert flags[3] is True  # saturated on an MLC page
+
+
+class TestFixedBaseline:
+    def test_fixed_controller_retires_immediately(self):
+        geometry = FlashGeometry(frames_per_block=4, num_blocks=4)
+        device = FlashDevice(
+            geometry=geometry,
+            lifetime_model=CellLifetimeModel(WearModelConfig()), seed=3)
+        controller = FixedEccController(device, strength=1)
+        threshold = device.next_error_damage(0, 0, 0)
+        device.age_block(0, threshold / 10 * 1.001)
+        controller.read(PageAddress(0, 0, 0))
+        assert controller.is_retired(0)
+        assert controller.stats.descriptor_updates == 0
+
+    def test_all_blocks_retired_flag(self):
+        geometry = FlashGeometry(frames_per_block=2, num_blocks=2)
+        device = FlashDevice(
+            geometry=geometry,
+            lifetime_model=CellLifetimeModel(WearModelConfig()), seed=3)
+        controller = FixedEccController(device)
+        assert not controller.all_blocks_retired
+        for block in range(2):
+            threshold = device.next_error_damage(block, 0, 0)
+            device.age_block(block, threshold / 10 * 1.001)
+            controller.read(PageAddress(block, 0, 0))
+        assert controller.all_blocks_retired

@@ -1,0 +1,72 @@
+"""CRC-32 tests: vectors, zlib agreement, incrementality, detection."""
+
+from __future__ import annotations
+
+import zlib
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.crc import Crc32, crc32, crc32_bitwise
+
+
+KNOWN_VECTORS = [
+    (b"", 0x00000000),
+    (b"123456789", 0xCBF43926),   # the classic CRC-32 check value
+    (b"a", 0xE8B7BE43),
+]
+
+
+class TestVectors:
+    @pytest.mark.parametrize("data,expected", KNOWN_VECTORS)
+    def test_known_vectors(self, data, expected):
+        assert crc32(data) == expected
+
+    @pytest.mark.parametrize("data,expected", KNOWN_VECTORS)
+    def test_bitwise_matches_vectors(self, data, expected):
+        assert crc32_bitwise(data) == expected
+
+
+@given(data=st.binary(max_size=512))
+def test_matches_zlib(data):
+    assert crc32(data) == zlib.crc32(data)
+
+
+@given(data=st.binary(max_size=256))
+def test_table_and_bitwise_agree(data):
+    assert crc32(data) == crc32_bitwise(data)
+
+
+@given(data=st.binary(min_size=1, max_size=256),
+       split=st.integers(min_value=0, max_value=256))
+def test_incremental_composition(data, split):
+    split = min(split, len(data))
+    assert crc32(data) == crc32(data[split:], crc32(data[:split]))
+
+
+@given(data=st.binary(min_size=1, max_size=128),
+       bit=st.integers(min_value=0, max_value=1023))
+def test_single_bit_flips_always_detected(data, bit):
+    """CRC-32 detects every single-bit error (minimum distance >= 2)."""
+    bit %= len(data) * 8
+    corrupted = bytearray(data)
+    corrupted[bit // 8] ^= 1 << (bit % 8)
+    assert crc32(bytes(corrupted)) != crc32(data)
+
+
+class TestCrc32Accumulator:
+    def test_streaming_equals_oneshot(self):
+        accumulator = Crc32()
+        accumulator.update(b"hello ").update(b"world")
+        assert accumulator.value == crc32(b"hello world")
+
+    def test_digest_is_4_little_endian_bytes(self):
+        digest = Crc32().update(b"123456789").digest()
+        assert len(digest) == Crc32.SPARE_BYTES == 4
+        assert int.from_bytes(digest, "little") == 0xCBF43926
+
+    def test_check_accepts_good_and_rejects_bad(self):
+        payload = bytes(range(64))
+        digest = Crc32().update(payload).digest()
+        assert Crc32.check(payload, digest)
+        assert not Crc32.check(payload[:-1] + b"\xFF", digest)

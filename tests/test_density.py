@@ -1,0 +1,109 @@
+"""SLC/MLC partition optimizer tests (section 4.2, Figure 7)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.density import (
+    DensityPartitionOptimizer,
+    die_area_for_capacity_mm2,
+)
+from repro.flash.timing import CellMode, DEFAULT_FLASH_TIMING
+from repro.workloads.synthetic import (
+    ExponentialPopularity,
+    UniformPopularity,
+    ZipfPopularity,
+)
+
+
+def make_optimizer(dist=None, n=4096):
+    return DensityPartitionOptimizer(dist or ZipfPopularity(n, 1.2))
+
+
+class TestAreaConversion:
+    def test_slc_needs_twice_mlc_area(self):
+        capacity = 1 << 30
+        assert die_area_for_capacity_mm2(capacity, CellMode.SLC) \
+            == pytest.approx(2 * die_area_for_capacity_mm2(
+                capacity, CellMode.MLC))
+
+    def test_itrs_2007_mlc_density(self):
+        # 0.0065 um^2/bit: 1GB MLC ~ 55.8 mm^2 of cells.
+        assert die_area_for_capacity_mm2(1 << 30) == pytest.approx(
+            (1 << 30) * 8 * 0.0065 / 1e6)
+
+
+class TestPartitionCapacity:
+    def test_all_mlc_doubles_all_slc(self):
+        optimizer = make_optimizer()
+        area = 1.0
+        slc_pages, _ = optimizer.partition_capacity(area, 1.0)
+        _, mlc_pages = optimizer.partition_capacity(area, 0.0)
+        assert mlc_pages == pytest.approx(2 * slc_pages, abs=2)
+
+    def test_invalid_inputs(self):
+        optimizer = make_optimizer()
+        with pytest.raises(ValueError):
+            optimizer.partition_capacity(0.0, 0.5)
+        with pytest.raises(ValueError):
+            optimizer.partition_capacity(1.0, 1.5)
+
+
+class TestLatency:
+    def test_latency_bounded_by_extremes(self):
+        optimizer = make_optimizer()
+        timing = DEFAULT_FLASH_TIMING
+        latency = optimizer.average_latency_us(optimizer.working_set_area_mm2,
+                                               0.0)
+        assert timing.slc_read_us <= latency <= 4200.0
+
+    def test_full_slc_coverage_hits_latency_floor(self):
+        optimizer = make_optimizer()
+        # Twice the MLC working-set area in pure SLC covers everything.
+        area = 2.0 * optimizer.working_set_area_mm2 * 1.01
+        assert optimizer.average_latency_us(area, 1.0) == pytest.approx(
+            DEFAULT_FLASH_TIMING.slc_read_us, rel=0.01)
+
+    def test_more_area_never_hurts(self):
+        optimizer = make_optimizer()
+        full = optimizer.working_set_area_mm2
+        latencies = [optimizer.optimize(full * f, grid_points=21)
+                     .average_latency_us
+                     for f in (0.1, 0.3, 0.6, 1.0, 2.0)]
+        assert all(b <= a + 1e-9 for a, b in zip(latencies, latencies[1:]))
+
+
+class TestOptimalPartition:
+    def test_short_tail_prefers_slc(self):
+        """Figure 7(a): concentrated popularity -> large SLC share."""
+        short_tail = DensityPartitionOptimizer(
+            ExponentialPopularity(4096, lam=0.01))
+        point = short_tail.optimize(short_tail.working_set_area_mm2 * 0.5)
+        assert point.optimal_slc_fraction >= 0.5
+
+    def test_capacity_bound_workload_prefers_mlc(self):
+        """Figure 7(b): flat popularity at half the working set -> MLC."""
+        flat = DensityPartitionOptimizer(UniformPopularity(4096))
+        point = flat.optimize(flat.working_set_area_mm2 * 0.5)
+        assert point.optimal_slc_fraction <= 0.1
+
+    def test_full_working_set_snaps_to_slc(self):
+        """Once the die covers the working set in SLC, all-SLC is optimal."""
+        optimizer = make_optimizer(n=1024)
+        area = 2.0 * optimizer.working_set_area_mm2 * 1.05
+        point = optimizer.optimize(area)
+        assert point.average_latency_us == pytest.approx(
+            DEFAULT_FLASH_TIMING.slc_read_us, rel=0.02)
+
+    def test_figure_7_series_shape(self):
+        optimizer = make_optimizer(n=2048)
+        full = optimizer.working_set_area_mm2
+        series = optimizer.figure_7_series(
+            [full * f for f in (0.25, 0.5, 1.0)], grid_points=21)
+        assert len(series) == 3
+        latencies = [p.average_latency_us for p in series]
+        assert latencies == sorted(latencies, reverse=True)
+
+    def test_grid_validation(self):
+        with pytest.raises(ValueError):
+            make_optimizer().optimize(1.0, grid_points=1)

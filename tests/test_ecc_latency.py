@@ -1,0 +1,113 @@
+"""Accelerator latency/area model tests (paper section 4.1, Figure 6(a))."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.ecc.latency import (
+    AcceleratorConfig,
+    AreaModel,
+    BCHLatencyModel,
+    DecodeLatency,
+)
+
+MODEL = BCHLatencyModel()
+
+
+class TestConfig:
+    def test_defaults_match_paper_design_point(self):
+        config = AcceleratorConfig()
+        assert config.clock_hz == 100e6     # 100 MHz embedded core
+        assert config.chien_engines == 16   # 16 Chien search engines
+        assert config.max_t == 12           # controller hardware limit
+        assert config.codeword_bits == (1 << 15) - 1
+
+    def test_rejects_bad_parameters(self):
+        with pytest.raises(ValueError):
+            AcceleratorConfig(clock_hz=0)
+        with pytest.raises(ValueError):
+            AcceleratorConfig(chien_engines=0)
+
+
+class TestDecodeLatency:
+    def test_zero_strength_is_free(self):
+        assert MODEL.decode_latency(0).total_us == 0.0
+        assert MODEL.encode_us(0) == 0.0
+
+    def test_monotone_in_t(self):
+        latencies = [MODEL.decode_us(t) for t in range(1, 13)]
+        assert all(b > a for a, b in zip(latencies, latencies[1:]))
+
+    def test_paper_envelope(self):
+        """Table 3 budgets 58-400us for the BCH latency."""
+        for t in range(1, 13):
+            assert 40.0 <= MODEL.decode_us(t) <= 400.0
+
+    def test_chien_dominates_at_high_t(self):
+        """Figure 6(a): the Chien search is the growing component."""
+        latency = MODEL.decode_latency(11)
+        assert latency.chien_us > latency.syndrome_us
+
+    def test_berlekamp_insignificant(self):
+        """The paper omits Berlekamp from Figure 6(a) as insignificant."""
+        for t in range(1, 13):
+            latency = MODEL.decode_latency(t)
+            assert latency.berlekamp_us < 0.05 * latency.total_us
+
+    def test_syndrome_steps_at_lane_boundaries(self):
+        """2t syndromes over 16 lanes: one pass for t<=8, two for t<=16."""
+        assert MODEL.syndrome_us(8) == MODEL.syndrome_us(1)
+        assert MODEL.syndrome_us(9) == pytest.approx(
+            2 * MODEL.syndrome_us(8))
+
+    def test_figure_6a_series_shape(self):
+        series = MODEL.figure_6a_series()
+        assert [t for t, _ in series] == list(range(2, 12))
+        totals = [latency.total_us for _, latency in series]
+        assert totals == sorted(totals)
+
+    def test_negative_t_rejected(self):
+        with pytest.raises(ValueError):
+            MODEL.decode_latency(-1)
+
+    def test_hardware_limit_not_enforced_on_model(self):
+        """Section 7.2 simulates strengths beyond the hardware limit "to
+        fully capture the performance trends"."""
+        assert MODEL.decode_us(50) > MODEL.decode_us(12)
+
+    @given(t=st.integers(min_value=1, max_value=64))
+    def test_components_positive_and_sum(self, t):
+        latency = MODEL.decode_latency(t)
+        assert latency.syndrome_us > 0
+        assert latency.chien_us > 0
+        assert latency.total_us == pytest.approx(
+            latency.syndrome_us + latency.berlekamp_us + latency.chien_us)
+        assert latency.total_s == pytest.approx(latency.total_us * 1e-6)
+
+    def test_faster_clock_reduces_latency(self):
+        fast = BCHLatencyModel(AcceleratorConfig(clock_hz=200e6))
+        assert fast.decode_us(5) == pytest.approx(MODEL.decode_us(5) / 2)
+
+    def test_more_engines_reduce_chien(self):
+        wide = BCHLatencyModel(AcceleratorConfig(chien_engines=32))
+        assert wide.chien_us(5) == pytest.approx(MODEL.chien_us(5) / 2)
+
+    def test_encode_is_single_pass(self):
+        assert MODEL.encode_us(1) == MODEL.encode_us(12)
+        assert MODEL.encode_us(1) == pytest.approx(MODEL.syndrome_us(1))
+
+
+class TestAreaModel:
+    def test_paper_area_budget(self):
+        """Section 4.1.1: "Our design required about 1 mm^2"."""
+        assert AreaModel().total_mm2 == pytest.approx(1.0, rel=0.05)
+
+    def test_crc_negligible(self):
+        area = AreaModel()
+        assert area.crc_mm2 < 0.01 * area.total_mm2
+
+    def test_lookup_table_is_dominant_component(self):
+        area = AreaModel()
+        assert area.lookup_table_mm2 > area.total_mm2 / 2
+        assert area.lookup_table_entries == 1 << 15

@@ -1,0 +1,183 @@
+"""Wear/lifetime model tests (paper section 4.1.3, Figure 6(b))."""
+
+from __future__ import annotations
+
+import math
+from random import Random
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.flash.timing import CellMode
+from repro.flash.wear import (
+    CellLifetimeModel,
+    PageFailureSampler,
+    WearModelConfig,
+    damage_per_cycle,
+    mlc_damage_factor,
+)
+
+
+class TestConfig:
+    def test_defaults_follow_paper(self):
+        config = WearModelConfig()
+        assert config.spec_cycles == 100_000.0
+        assert config.stdev_frac == 0.05  # 3 sigma = 15% of mean
+        assert config.cells_per_page == (2048 + 64) * 8
+
+    def test_first_failure_anchor_probability(self):
+        config = WearModelConfig()
+        assert config.effective_spec_fail_prob == pytest.approx(
+            1.0 / 16_897)
+        # consistent with the paper's "of the order of 1e-4"
+        assert 1e-5 < config.effective_spec_fail_prob < 1e-3
+
+    def test_explicit_fail_prob_honoured(self):
+        config = WearModelConfig(spec_fail_prob=1e-4)
+        assert config.effective_spec_fail_prob == 1e-4
+
+    def test_rejects_bad_values(self):
+        with pytest.raises(ValueError):
+            WearModelConfig(spec_cycles=0)
+        with pytest.raises(ValueError):
+            WearModelConfig(stdev_frac=-0.1)
+        with pytest.raises(ValueError):
+            WearModelConfig(stdev_frac=0.5)  # calibration impossible
+        with pytest.raises(ValueError):
+            WearModelConfig(spec_fail_prob=0.9)
+
+
+class TestCellLifetimeModel:
+    def test_calibration_pins_first_failure_at_spec(self):
+        """Paper: "first point of failure to occur at 100,000 W/E cycles"."""
+        for frac in (0.05, 0.10, 0.20):
+            model = CellLifetimeModel(WearModelConfig(stdev_frac=frac))
+            assert model.max_tolerable_cycles(0) == pytest.approx(
+                100_000.0, rel=1e-6)
+
+    def test_degenerate_zero_variation(self):
+        model = CellLifetimeModel(WearModelConfig(stdev_frac=0.0))
+        assert model.sigma_log10 == 0.0
+        assert model.cell_failure_probability(99_999) == 0.0
+        assert model.cell_failure_probability(100_000) == 1.0
+        # ECC cannot help when every cell dies simultaneously.
+        assert model.max_tolerable_cycles(10) == pytest.approx(100_000.0)
+
+    def test_failure_probability_monotone(self):
+        model = CellLifetimeModel()
+        cycles = [1e4, 5e4, 1e5, 2e5, 1e6]
+        probabilities = [model.cell_failure_probability(c) for c in cycles]
+        assert probabilities == sorted(probabilities)
+        assert model.cell_failure_probability(0) == 0.0
+
+    def test_quantile_inverts_probability(self):
+        model = CellLifetimeModel()
+        for quantile in (0.01, 0.5, 0.99):
+            cycles = model.cycles_at_failure_quantile(quantile)
+            assert model.cell_failure_probability(cycles) == pytest.approx(
+                quantile, rel=1e-9)
+        with pytest.raises(ValueError):
+            model.cycles_at_failure_quantile(1.5)
+
+    def test_expected_failed_cells_scales(self):
+        model = CellLifetimeModel()
+        assert model.expected_failed_cells(2e5, 1000) == pytest.approx(
+            1000 * model.cell_failure_probability(2e5))
+
+    @given(t=st.integers(min_value=0, max_value=11))
+    def test_tolerable_cycles_monotone_in_t(self, t):
+        model = CellLifetimeModel()
+        assert (model.max_tolerable_cycles(t + 1)
+                >= model.max_tolerable_cycles(t))
+
+    def test_tolerable_cycles_rejects_negative_t(self):
+        with pytest.raises(ValueError):
+            CellLifetimeModel().max_tolerable_cycles(-1)
+
+
+class TestFigure6b:
+    def test_series_covers_paper_sweep(self):
+        series = CellLifetimeModel.figure_6b_series()
+        assert set(series) == {0.0, 0.05, 0.10, 0.20}
+        for points in series.values():
+            assert [t for t, _ in points] == list(range(0, 11))
+
+    def test_all_curves_anchor_at_spec(self):
+        series = CellLifetimeModel.figure_6b_series()
+        for points in series.values():
+            assert points[0][1] == pytest.approx(100_000.0, rel=1e-6)
+
+    def test_larger_variation_steeper_gains(self):
+        """Figure 6(b): more oxide spread -> ECC harvests more headroom."""
+        series = CellLifetimeModel.figure_6b_series()
+        gain = {frac: points[-1][1] / points[0][1]
+                for frac, points in series.items()}
+        assert gain[0.0] == pytest.approx(1.0)
+        assert gain[0.0] < gain[0.05] < gain[0.10] < gain[0.20]
+
+    def test_diminishing_returns(self):
+        """The paper notes diminishing return from increasing ECC strength
+        (in log-lifetime terms)."""
+        model = CellLifetimeModel(WearModelConfig(stdev_frac=0.10))
+        log_gains = []
+        for t in range(0, 10):
+            log_gains.append(
+                math.log10(model.max_tolerable_cycles(t + 1))
+                - math.log10(model.max_tolerable_cycles(t)))
+        assert all(b <= a + 1e-12 for a, b in zip(log_gains, log_gains[1:]))
+
+
+class TestDamageUnits:
+    def test_mlc_damage_factor_is_endurance_ratio(self):
+        assert mlc_damage_factor() == pytest.approx(10.0)
+
+    def test_damage_per_cycle(self):
+        assert damage_per_cycle(CellMode.SLC) == 1.0
+        assert damage_per_cycle(CellMode.MLC) == pytest.approx(10.0)
+
+
+class TestPageFailureSampler:
+    def _sampler(self, seed=5, n_cells=16_896):
+        return PageFailureSampler(
+            model=CellLifetimeModel(), n_cells=n_cells, rng=Random(seed))
+
+    def test_no_failures_at_zero_damage(self):
+        assert self._sampler().failed_cells(0) == 0
+
+    def test_failed_cells_monotone_in_damage(self):
+        sampler = self._sampler()
+        counts = [sampler.failed_cells(d)
+                  for d in (1e4, 1e5, 3e5, 1e6, 3e6)]
+        assert counts == sorted(counts)
+
+    def test_thresholds_sorted_and_consistent(self):
+        sampler = self._sampler()
+        thresholds = [sampler.next_failure_damage(i) for i in range(10)]
+        assert thresholds == sorted(thresholds)
+        # failure count exactly at a threshold includes that failure
+        assert sampler.failed_cells(thresholds[4]) >= 5
+
+    def test_first_failure_near_spec_on_average(self):
+        """E[first failure] tracks the 100k anchor (within sampling noise)."""
+        values = [
+            PageFailureSampler(model=CellLifetimeModel(), n_cells=16_896,
+                               rng=Random(seed)).next_failure_damage(0)
+            for seed in range(200)
+        ]
+        mean = sum(values) / len(values)
+        assert 5e4 < mean < 2e5
+
+    @settings(max_examples=20, deadline=None)
+    @given(seed=st.integers(min_value=0, max_value=10_000))
+    def test_property_order_statistics_increase(self, seed):
+        sampler = self._sampler(seed=seed, n_cells=64)
+        previous = 0.0
+        for index in range(64):
+            threshold = sampler.next_failure_damage(index)
+            assert threshold >= previous
+            previous = threshold
+        assert math.isinf(sampler.next_failure_damage(64))
+
+    def test_exhausting_all_cells(self):
+        sampler = self._sampler(n_cells=8)
+        assert sampler.failed_cells(1e30) == 8

@@ -1,0 +1,127 @@
+"""Storage-hierarchy tests: both Figure 2 platforms end to end."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy import (
+    DramOnlySystem,
+    FlashBackedSystem,
+    SystemConfig,
+    build_flash_system,
+)
+from repro.workloads.macro import build_workload
+from repro.workloads.trace import OP_READ, OP_WRITE, TraceRecord
+
+
+def small_flash_system(**kwargs) -> FlashBackedSystem:
+    return build_flash_system(dram_bytes=1 << 20, flash_bytes=4 << 20,
+                              **kwargs)
+
+
+class TestSystemConfig:
+    def test_pdc_sizing(self):
+        config = SystemConfig(dram_bytes=1 << 20, pdc_fraction=0.5)
+        assert config.pdc_pages == (1 << 19) // 2048
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            SystemConfig(dram_bytes=100)
+        with pytest.raises(ValueError):
+            SystemConfig(dram_bytes=1 << 20, pdc_fraction=0.0)
+        with pytest.raises(ValueError):
+            FlashBackedSystem(SystemConfig(dram_bytes=1 << 20), None)
+
+
+class TestDramOnlySystem:
+    def test_pdc_hit_avoids_disk(self):
+        system = DramOnlySystem(SystemConfig(dram_bytes=1 << 20))
+        first = system.read(5)
+        second = system.read(5)
+        assert first > 4000.0      # includes the 4.2ms disk fill
+        assert second < 10.0       # pure DRAM
+        assert system.disk.reads == 1
+
+    def test_write_back_batched_to_disk(self):
+        system = DramOnlySystem(SystemConfig(
+            dram_bytes=1 << 20, flush_interval_requests=50))
+        pdc_pages = system.pdc.capacity_pages
+        for page in range(pdc_pages * 2):
+            system.write(page)
+        assert system.disk.writes > 0
+        # Batched: far fewer disk operations than evicted dirty pages.
+        assert system.disk.writes < system.pdc.stats.dirty_evictions / 5
+
+
+class TestFlashBackedSystem:
+    def test_three_level_read_path(self):
+        system = small_flash_system()
+        miss = system.read(42)              # disk fill
+        system.pdc.invalidate(42)
+        flash_hit = system.read(42)         # flash fill
+        pdc_hit = system.read(42)
+        assert miss > 4000.0
+        assert 50.0 < flash_hit < 1000.0
+        assert pdc_hit < 10.0
+        assert system.stats.disk_fills == 1
+        assert system.stats.flash_fills == 1
+
+    def test_writes_are_dram_speed(self):
+        system = small_flash_system()
+        assert system.write(3) < 10.0
+
+    def test_process_expands_extents(self):
+        system = small_flash_system()
+        system.process(TraceRecord(page=0, op=OP_READ, pages=4))
+        assert system.stats.reads == 4
+
+    def test_run_and_drain(self):
+        system = small_flash_system()
+        trace = build_workload("dbt2", num_records=3000,
+                               footprint_pages=4096, seed=6)
+        system.run(trace)
+        system.drain()
+        assert system.pdc.dirty_pages == 0
+        assert system.flash.flush() == []
+
+    def test_wall_clock_floors_at_device_busy(self):
+        system = small_flash_system()
+        system.read(1)
+        assert system.wall_clock_us >= system.disk.busy_us
+        assert system.wall_clock_us >= system.stats.total_latency_us
+
+    def test_throughput_positive(self):
+        system = small_flash_system()
+        for page in range(100):
+            system.read(page % 10)
+        assert system.throughput_rps() > 0
+
+    def test_reset_measurement_keeps_cache_contents(self):
+        system = small_flash_system()
+        for page in range(50):
+            system.read(page)
+        system.reset_measurement()
+        assert system.stats.requests == 0
+        assert system.disk.busy_us == 0.0
+        assert system.flash.controller.device.stats.busy_us == 0.0
+        # Cached state survives: re-reading is cheap.
+        latency = system.read(0)
+        assert latency < 1000.0
+
+
+class TestPlatformComparison:
+    def test_flash_system_beats_dram_only_when_pdc_too_small(self):
+        trace = build_workload("alpha2", num_records=30_000,
+                               footprint_pages=16_384, seed=3)
+        baseline = DramOnlySystem(SystemConfig(dram_bytes=1 << 20))
+        baseline.run(trace)
+        flash = small_flash_system()
+        flash.run(trace)
+        assert (flash.stats.average_latency_us
+                < baseline.stats.average_latency_us)
+        assert flash.disk.reads < baseline.disk.reads
+
+    def test_build_flash_system_wires_defaults(self):
+        system = small_flash_system()
+        assert system.flash.config.gc_move_budget == 1.0
+        assert system.config.flash_bytes == 4 << 20

@@ -1,0 +1,102 @@
+"""Accelerated aging simulator tests (Figures 11 and 12)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.sim.lifetime import (
+    AgingConfig,
+    LifetimeSimulator,
+    lifetime_ratio,
+    simulate_lifetime,
+)
+
+SMALL = dict(num_blocks=8, frames_per_block=4)
+
+
+class TestAgingConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            AgingConfig(controller="magic")
+        with pytest.raises(ValueError):
+            AgingConfig(cache_coverage=0.0)
+        with pytest.raises(ValueError):
+            AgingConfig(num_blocks=0)
+
+
+class TestAgingRuns:
+    def test_runs_to_total_failure(self):
+        result = simulate_lifetime("alpha2", "programmable", **SMALL)
+        assert result.host_accesses_to_failure > 0
+        assert result.erase_cycles_to_failure > 0
+        assert result.controller_stats.blocks_retired == SMALL["num_blocks"]
+
+    def test_deterministic_given_seed(self):
+        a = simulate_lifetime("alpha1", "programmable", seed=5, **SMALL)
+        b = simulate_lifetime("alpha1", "programmable", seed=5, **SMALL)
+        assert a.host_accesses_to_failure == b.host_accesses_to_failure
+        assert a.events == b.events
+
+    def test_bch1_baseline_fails_near_mlc_endurance(self):
+        """A fixed 1-bit controller dies around the 10k-cycle MLC spec."""
+        result = simulate_lifetime("uniform", "bch1", **SMALL)
+        assert 1_000 < result.erase_cycles_to_failure < 50_000
+
+    def test_programmable_reaches_slc_scale_endurance(self):
+        """ECC escalation plus the MLC->SLC switch pushes the failure point
+        past the 100k SLC spec."""
+        result = simulate_lifetime("uniform", "programmable", **SMALL)
+        assert result.erase_cycles_to_failure > 100_000
+
+    def test_half_capacity_precedes_total_failure(self):
+        result = simulate_lifetime("alpha2", "programmable", **SMALL)
+        assert result.half_capacity_accesses is not None
+        assert (result.half_capacity_accesses
+                <= result.host_accesses_to_failure)
+
+
+class TestFigure12:
+    def test_programmable_beats_bch1_by_order_of_magnitude(self):
+        """The paper's headline: ~20x average lifetime extension."""
+        ratio = lifetime_ratio("alpha2", **SMALL)
+        assert ratio > 5.0
+
+    def test_improvement_across_workload_families(self):
+        for workload in ("uniform", "exp1", "financial1"):
+            assert lifetime_ratio(workload, **SMALL) > 3.0
+
+
+class TestFigure11:
+    def test_uniform_prefers_code_strength(self):
+        """Long-tail extreme: capacity precious -> ECC updates dominate."""
+        result = simulate_lifetime("uniform", "programmable", **SMALL)
+        breakdown = result.early_reconfig_breakdown
+        assert breakdown["code_strength"] > 0.8
+
+    def test_exponential_prefers_density(self):
+        """Short-tail extreme: hot pages + cheap capacity -> MLC->SLC."""
+        result = simulate_lifetime("exp2", "programmable", **SMALL)
+        breakdown = result.early_reconfig_breakdown
+        assert breakdown["density"] > 0.8
+
+    def test_zipf_sits_between_extremes(self):
+        uniform = simulate_lifetime(
+            "uniform", "programmable", **SMALL).early_reconfig_breakdown
+        zipf = simulate_lifetime(
+            "alpha2", "programmable", **SMALL).early_reconfig_breakdown
+        exponential = simulate_lifetime(
+            "exp2", "programmable", **SMALL).early_reconfig_breakdown
+        assert (uniform["density"] <= zipf["density"]
+                <= exponential["density"])
+
+    def test_breakdown_fractions_sum_to_one(self):
+        result = simulate_lifetime("alpha3", "programmable", **SMALL)
+        breakdown = result.early_reconfig_breakdown
+        assert breakdown["code_strength"] + breakdown["density"] \
+            == pytest.approx(1.0)
+
+    def test_bch1_never_reconfigures(self):
+        result = simulate_lifetime("alpha2", "bch1", **SMALL)
+        assert result.controller_stats.descriptor_updates == 0
+        assert result.reconfig_breakdown == {"code_strength": 0.0,
+                                             "density": 0.0}

@@ -1,0 +1,117 @@
+"""Simulation-layer tests: engine, server model, Table 3 config, power."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.hierarchy import DramOnlySystem, SystemConfig, \
+    build_flash_system
+from repro.power.models import system_power_breakdown
+from repro.sim.config import TABLE3_PLATFORM
+from repro.sim.engine import run_trace
+from repro.sim.server import ServerModel
+from repro.workloads.macro import build_workload
+
+
+class TestTable3Config:
+    def test_paper_values(self):
+        platform = TABLE3_PLATFORM
+        assert platform.processor_cores == 8
+        assert platform.clock_hz == 1e9
+        assert platform.l2_bytes == 2 << 20
+        assert platform.dram_bytes_max == 512 << 20
+        assert platform.flash_bytes_max == 2 << 30
+        assert platform.disk.average_access_ms == 4.2
+        assert platform.bch_latency_min_us == 58.0
+        assert platform.bch_latency_max_us == 400.0
+        assert platform.dram_dimm_range == (1, 4)
+
+
+class TestEngine:
+    def test_report_fields(self):
+        system = build_flash_system(dram_bytes=1 << 20, flash_bytes=4 << 20)
+        trace = build_workload("specweb99", num_records=2000,
+                               footprint_pages=4096, seed=9)
+        report = run_trace(system, trace)
+        assert report.requests == 2000
+        assert report.reads + report.writes == report.requests
+        assert report.average_latency_us > 0
+        assert report.wall_clock_us >= report.requests  # >= 1us each
+        assert 0.0 <= report.flash_miss_rate <= 1.0
+        assert report.power.total_w > 0
+        assert report.network_bandwidth_bytes_per_s == pytest.approx(
+            report.throughput_rps * 2048.0)
+
+    def test_dram_only_report_has_no_flash(self):
+        system = DramOnlySystem(SystemConfig(dram_bytes=1 << 20))
+        trace = build_workload("uniform", num_records=500,
+                               footprint_pages=1024, seed=1)
+        report = run_trace(system, trace)
+        assert report.flash is None
+        assert report.flash_miss_rate == 1.0
+
+
+class TestServerModel:
+    MODEL = ServerModel()
+
+    def test_zero_storage_is_cpu_bound(self):
+        ceiling = self.MODEL.cores / self.MODEL.cpu_us_per_request * 1e6
+        assert self.MODEL.throughput_rps(0.0) == pytest.approx(ceiling)
+
+    def test_throughput_decreases_with_latency(self):
+        fast = self.MODEL.throughput_rps(100.0)
+        slow = self.MODEL.throughput_rps(4200.0)
+        assert slow < fast
+
+    def test_bottleneck_caps_throughput(self):
+        unconstrained = self.MODEL.throughput_rps(100.0)
+        constrained = self.MODEL.throughput_rps(
+            100.0, bottleneck_busy_us_per_request=1000.0)
+        assert constrained == pytest.approx(1000.0)  # 1/1000us in rps
+        assert constrained < unconstrained
+
+    def test_relative_bandwidth(self):
+        assert self.MODEL.relative_bandwidth(100.0, 100.0) == pytest.approx(1.0)
+        assert self.MODEL.relative_bandwidth(100.0, 4200.0) < 1.0
+
+    def test_network_bandwidth_scales_with_response(self):
+        big = ServerModel(response_bytes=4096)
+        small = ServerModel(response_bytes=2048)
+        assert big.network_bandwidth_bytes_per_s(100.0) == pytest.approx(
+            2 * small.network_bandwidth_bytes_per_s(100.0))
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            ServerModel(cores=0)
+        with pytest.raises(ValueError):
+            self.MODEL.throughput_rps(-1.0)
+
+
+class TestPowerBreakdown:
+    def test_components_sum(self):
+        system = build_flash_system(dram_bytes=1 << 20, flash_bytes=4 << 20)
+        trace = build_workload("dbt2", num_records=3000,
+                               footprint_pages=4096, seed=2)
+        run_trace(system, trace)
+        breakdown = system_power_breakdown(system)
+        assert breakdown.total_w == pytest.approx(
+            breakdown.memory_w + breakdown.disk_w)
+        assert breakdown.memory_w == pytest.approx(
+            breakdown.mem_read_w + breakdown.mem_write_w
+            + breakdown.mem_idle_w)
+        as_dict = breakdown.as_dict()
+        assert set(as_dict) == {"mem_read_w", "mem_write_w", "mem_idle_w",
+                                "disk_w", "total_w", "throughput_rps"}
+
+    def test_empty_system_rejected(self):
+        system = DramOnlySystem(SystemConfig(dram_bytes=1 << 20))
+        with pytest.raises(ValueError):
+            system_power_breakdown(system)
+
+    def test_disk_power_between_idle_and_active(self):
+        system = DramOnlySystem(SystemConfig(dram_bytes=1 << 20))
+        for page in range(200):
+            system.read(page % 50)
+        breakdown = system_power_breakdown(system)
+        assert (system.disk.power.idle_w * 0.99 <= breakdown.disk_w
+                <= system.disk.power.active_w * 1.01)

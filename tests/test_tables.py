@@ -1,0 +1,141 @@
+"""Tests for the four DRAM-resident management tables (section 3)."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.core.tables import (
+    ACCESS_COUNTER_MAX,
+    FBSTEntry,
+    FlashBlockStatusTable,
+    FlashCacheHashTable,
+    FlashGlobalStatus,
+    FlashPageStatusTable,
+    FPSTEntry,
+    metadata_overhead_bytes,
+)
+from repro.flash.geometry import PageAddress
+from repro.flash.timing import CellMode
+
+
+class TestFPST:
+    def test_entry_created_with_default_strength(self):
+        table = FlashPageStatusTable(default_ecc_strength=3)
+        entry = table.entry(PageAddress(0, 0, 0))
+        assert entry.ecc_strength == 3
+        assert not entry.valid
+
+    def test_saturating_counter(self):
+        entry = FPSTEntry()
+        saturated = False
+        for _ in range(ACCESS_COUNTER_MAX + 5):
+            saturated = entry.touch()
+        assert saturated
+        assert entry.access_count == ACCESS_COUNTER_MAX
+
+    def test_saturate_shortcut(self):
+        entry = FPSTEntry()
+        entry.saturate()
+        assert entry.access_count == ACCESS_COUNTER_MAX
+
+    def test_drop_and_iterate(self):
+        table = FlashPageStatusTable()
+        a, b = PageAddress(0, 0, 0), PageAddress(0, 1, 0)
+        table.entry(a)
+        table.entry(b)
+        table.drop(a)
+        assert len(table) == 1
+        assert [address for address, _ in table] == [b]
+
+
+class TestFBST:
+    def test_wear_out_cost_function(self):
+        """wear_out = N_erase + k1*TotalECC + k2*TotalSLC (section 3.3)."""
+        entry = FBSTEntry(erase_count=10, total_ecc=4, total_slc_pages=2)
+        assert entry.wear_out(k1=1.0, k2=10.0) == pytest.approx(
+            10 + 1.0 * 4 + 10.0 * 2)
+
+    def test_k2_must_dominate_k1(self):
+        """Section 3.3: "Constant k2 is larger than k1"."""
+        with pytest.raises(ValueError):
+            FlashBlockStatusTable(4, k1=5.0, k2=1.0)
+
+    def test_newest_block_ignores_retired(self):
+        table = FlashBlockStatusTable(3)
+        table.entry(0).erase_count = 1
+        table.entry(1).erase_count = 0
+        table.entry(2).erase_count = 5
+        assert table.newest_block() == 1
+        table.entry(1).retired = True
+        assert table.newest_block() == 0
+
+    def test_all_retired_raises(self):
+        table = FlashBlockStatusTable(2)
+        table.entry(0).retired = True
+        table.entry(1).retired = True
+        with pytest.raises(RuntimeError):
+            table.newest_block()
+        assert table.retired_count == 2
+        assert list(table.live_blocks()) == []
+
+
+class TestFGST:
+    def test_miss_rate(self):
+        fgst = FlashGlobalStatus()
+        for _ in range(3):
+            fgst.record_hit(50.0)
+        fgst.record_miss(4200.0)
+        assert fgst.miss_rate == pytest.approx(0.25)
+
+    def test_ewma_tracks_latency(self):
+        fgst = FlashGlobalStatus(ewma_alpha=0.5)
+        fgst.record_hit(100.0)
+        fgst.record_hit(200.0)
+        assert fgst.avg_hit_latency_us == pytest.approx(150.0)
+
+    def test_relative_frequency(self):
+        fgst = FlashGlobalStatus()
+        assert fgst.relative_frequency(10) == 0.0
+        fgst.record_hit(1.0)
+        fgst.record_hit(1.0)
+        assert fgst.relative_frequency(1) == pytest.approx(0.5)
+
+
+class TestFCHT:
+    def test_basic_mapping(self):
+        fcht = FlashCacheHashTable()
+        address = PageAddress(1, 2, 0)
+        fcht.insert(42, address)
+        assert 42 in fcht
+        assert fcht.lookup(42) == address
+        assert fcht.remove(42) == address
+        assert fcht.lookup(42) is None
+
+    def test_lookup_cost_grows_with_load(self):
+        small = FlashCacheHashTable(buckets=4)
+        large = FlashCacheHashTable(buckets=4096)
+        for lba in range(1000):
+            small.insert(lba, PageAddress(0, 0, 0))
+            large.insert(lba, PageAddress(0, 0, 0))
+        assert small.lookup_cost_us() > large.lookup_cost_us()
+
+    def test_rejects_zero_buckets(self):
+        with pytest.raises(ValueError):
+            FlashCacheHashTable(buckets=0)
+
+
+class TestMetadataOverhead:
+    def test_paper_32gb_estimate(self):
+        """Section 3: ~360MB of DRAM for 32GB of Flash, under 2%."""
+        overhead = metadata_overhead_bytes(32 << 30)
+        assert overhead == pytest.approx(360 << 20, rel=0.05)
+        assert overhead / (32 << 30) < 0.02
+
+    def test_scales_linearly_with_flash(self):
+        small = metadata_overhead_bytes(1 << 30)
+        large = metadata_overhead_bytes(4 << 30)
+        assert large == pytest.approx(4 * small, rel=0.01)
+
+    def test_rejects_sub_page_flash(self):
+        with pytest.raises(ValueError):
+            metadata_overhead_bytes(100)
