@@ -1,0 +1,82 @@
+"""Fault injection: graceful degradation of the Flash disk cache.
+
+Not a paper figure — the robustness companion to the performance suite.
+Asserts the availability contract (every faulted run completes), the
+degradation shape (capacity shrinks and misses rise with the fault rate,
+down to the DRAM+disk bypass), the retry ladder's benefit on transient
+faults, and that a zero-rate run is bit-identical to the fault-free
+baseline.
+"""
+
+from __future__ import annotations
+
+from repro.experiments.fault_degradation import run_fault_sweep
+
+
+def _scaled_kwargs(bench_scale):
+    return {
+        "num_records": max(4000, bench_scale["num_records"] // 20),
+        "flash_bytes": 8 << 20,
+        "dram_bytes": 2 << 20,
+        "footprint_pages": 8192,
+    }
+
+
+def test_fault_degradation_sweep(benchmark, bench_scale):
+    kwargs = _scaled_kwargs(bench_scale)
+    points = benchmark.pedantic(
+        lambda: run_fault_sweep(
+            fault_rates=(0.0, 0.02, 0.2), retry_depths=(0, 2), **kwargs),
+        rounds=1, iterations=1)
+
+    print("\nFault degradation sweep")
+    for p in points:
+        print(f"  rate={p.fault_rate:5.3f} retry={p.read_retry_max}: "
+              f"miss={p.miss_rate:7.3%} live={p.live_capacity:5.3f} "
+              f"degraded={p.degraded} lost={p.unrecovered_faults}")
+
+    by_key = {(p.fault_rate, p.read_retry_max): p for p in points}
+    base = by_key[(0.0, 0)]
+    mid = by_key[(0.02, 0)]
+    heavy = by_key[(0.2, 0)]
+
+    # Availability: every configuration produced a finished report.
+    assert len(points) == 6
+
+    # Fault-free baseline: full capacity, no fault activity, no bypass.
+    assert base.live_capacity == 1.0
+    assert not base.degraded
+    assert base.injected_faults == 0
+    assert base.recovered_faults == 0 and base.unrecovered_faults == 0
+
+    # Degradation shape: faults cost capacity and hit rate, monotonically
+    # in the rate; the heavy rate drives the cache into the bypass.
+    assert mid.injected_faults > 0
+    assert mid.live_capacity <= base.live_capacity
+    assert heavy.live_capacity < mid.live_capacity
+    assert heavy.miss_rate > base.miss_rate
+    assert heavy.degraded
+    assert heavy.retired_blocks > 0
+
+    # Recovery accounting: clean drops dominate dirty losses (the read
+    # region outnumbers the write region 9:1).
+    assert mid.recovered_faults > 0
+    assert mid.recovered_faults >= mid.unrecovered_faults
+
+    # Retry ladder: re-sensing rides out transient bursts, cutting
+    # uncorrectable reads at the moderate rate.
+    mid_retry = by_key[(0.02, 2)]
+    assert mid_retry.retry_recovered_reads > 0
+    assert mid_retry.uncorrectable_reads < mid.uncorrectable_reads
+
+
+def test_zero_rate_is_bit_identical(bench_scale):
+    """A zero-rate sweep point must reproduce the fault-free baseline
+    exactly — same seeds in, same numbers out."""
+    kwargs = _scaled_kwargs(bench_scale)
+    runs = [run_fault_sweep(fault_rates=(0.0,), retry_depths=(0,),
+                            **kwargs)[0]
+            for _ in range(2)]
+    assert runs[0] == runs[1]
+    assert runs[0].miss_rate == runs[1].miss_rate
+    assert runs[0].live_capacity == 1.0

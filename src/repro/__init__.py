@@ -32,6 +32,9 @@ Quickstart::
 """
 
 from .core import (
+    CacheError,
+    CacheCapacityError,
+    CacheDegradedError,
     FlashDiskCache,
     FlashCacheConfig,
     ProgrammableFlashController,
@@ -52,6 +55,7 @@ from .flash import (
     CellLifetimeModel,
     WearModelConfig,
 )
+from .faults import FaultConfig, FaultInjector, FaultStats
 from .sim import run_trace, ServerModel, simulate_lifetime, lifetime_ratio
 from .workloads import TraceRecord, build_workload, read_spc
 from .power import system_power_breakdown
@@ -59,6 +63,12 @@ from .power import system_power_breakdown
 __version__ = "1.0.0"
 
 __all__ = [
+    "CacheError",
+    "CacheCapacityError",
+    "CacheDegradedError",
+    "FaultConfig",
+    "FaultInjector",
+    "FaultStats",
     "FlashDiskCache",
     "FlashCacheConfig",
     "ProgrammableFlashController",

@@ -6,8 +6,12 @@ Commands
 ``experiments``            list the available figure runners
 ``fig1b`` .. ``fig12``     print one figure's rows (same output as the
                            ``repro.experiments.*`` module mains)
+``faults``                 fault-injection / graceful-degradation sweep
 ``report``                 run the whole evaluation, print markdown
 ``profile <trace.spc>``    characterise a (UMass SPC) disk trace
+``run <trace.spc>``        replay a trace through the Flash hierarchy,
+                           optionally with injected faults
+                           (``--fault-rate`` / ``--fault-seed``)
 """
 
 from __future__ import annotations
@@ -16,6 +20,7 @@ import argparse
 import sys
 
 from .experiments import (
+    fault_degradation,
     fig1b_gc,
     fig4_split,
     fig6_ecc,
@@ -38,6 +43,7 @@ _FIGURES = {
     "fig10": fig10_ecc_throughput.main,
     "fig11": fig11_reconfig.main,
     "fig12": fig12_lifetime.main,
+    "faults": fault_degradation.main,
 }
 
 
@@ -62,6 +68,22 @@ def _build_parser() -> argparse.ArgumentParser:
     profile.add_argument("path")
     profile.add_argument("--limit", type=int, default=None,
                          help="read at most N records")
+
+    run = sub.add_parser(
+        "run", help="replay an SPC trace through the Flash hierarchy")
+    run.add_argument("path")
+    run.add_argument("--limit", type=int, default=None,
+                     help="replay at most N records")
+    run.add_argument("--dram-mb", type=int, default=64,
+                     help="DRAM size in MB (default 64)")
+    run.add_argument("--flash-mb", type=int, default=256,
+                     help="Flash size in MB (default 256)")
+    run.add_argument("--fault-rate", type=float, default=0.0,
+                     help="uniform fault-injection rate (0 disables; see "
+                          "FaultConfig.uniform for the derived per-class "
+                          "rates)")
+    run.add_argument("--fault-seed", type=int, default=0,
+                     help="seed of the fault injector's RNG streams")
     return parser
 
 
@@ -85,7 +107,45 @@ def main(argv: list[str] | None = None) -> int:
         records = records_from_spc_file(args.path, limit=args.limit)
         print(profile_trace(records).summary())
         return 0
+    if args.command == "run":
+        return _run_trace_command(args)
     return 1
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    from .core.hierarchy import build_flash_system
+    from .faults.injector import FaultConfig
+    from .sim.engine import run_trace
+
+    fault_config = None
+    if args.fault_rate > 0.0:
+        fault_config = FaultConfig.uniform(args.fault_rate,
+                                           seed=args.fault_seed)
+    system = build_flash_system(
+        dram_bytes=args.dram_mb << 20,
+        flash_bytes=args.flash_mb << 20,
+        fault_config=fault_config,
+    )
+    records = records_from_spc_file(args.path, limit=args.limit)
+    report = run_trace(system, records)
+    print(f"requests:        {report.requests}")
+    print(f"avg latency:     {report.average_latency_us:.1f} us")
+    print(f"throughput:      {report.throughput_rps:.0f} req/s")
+    print(f"flash miss rate: {report.flash_miss_rate:.3%}")
+    print(f"disk reads:      {report.disk_reads}")
+    print(f"disk writes:     {report.disk_writes}")
+    if fault_config is not None:
+        flash = report.flash
+        faults = report.faults
+        assert flash is not None
+        print(f"injected faults: {faults.total if faults else 0}")
+        print(f"recovered:       {flash.recovered_faults}")
+        print(f"lost (dirty):    {flash.unrecovered_faults}")
+        print(f"program remaps:  {flash.remapped_programs}")
+        print(f"retired blocks:  {flash.retired_blocks}")
+        print(f"live capacity:   {report.flash_live_capacity:.3f}")
+        print(f"degraded:        {report.flash_degraded}")
+    return 0
 
 
 if __name__ == "__main__":

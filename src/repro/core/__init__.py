@@ -2,6 +2,13 @@
 programmable memory controller, the management tables, the SLC/MLC
 partition optimizer, and the two full storage hierarchies of Figure 2."""
 
+from .errors import (
+    CacheError,
+    CacheCapacityError,
+    CacheDegradedError,
+    ReserveBlockLostError,
+    NoEvictableBlockError,
+)
 from .tables import (
     ACCESS_COUNTER_MAX,
     FPSTEntry,
@@ -43,6 +50,11 @@ from .hierarchy import (
 )
 
 __all__ = [
+    "CacheError",
+    "CacheCapacityError",
+    "CacheDegradedError",
+    "ReserveBlockLostError",
+    "NoEvictableBlockError",
     "ACCESS_COUNTER_MAX",
     "FPSTEntry",
     "FlashPageStatusTable",

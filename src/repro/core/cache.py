@@ -29,6 +29,14 @@ cache and the hard drive.  The headline design points reproduced here:
 * **Hot-page SLC promotion** (section 5.2.2).  When a page's FPST access
   counter saturates in MLC mode, the page migrates to an SLC-formatted
   block, trading half a frame of capacity for half the read latency.
+* **Graceful degradation** (section 4, Figure 12 in spirit).  The cache
+  never loses data permanently and never crashes on hardware faults: an
+  uncorrectable read becomes an invalidate-and-miss (the backing disk
+  always has the data), a failed program remaps to a fresh frame, and a
+  failed erase retires its block, shrinking the cache's live capacity
+  while it keeps serving.  Below a documented minimum-blocks floor
+  (:attr:`FlashCacheConfig.min_live_blocks`) the cache switches itself
+  off and the hierarchy falls back to DRAM+disk.
 """
 
 from __future__ import annotations
@@ -38,9 +46,16 @@ from collections import OrderedDict, deque
 from dataclasses import dataclass, field
 from typing import Deque, Dict, List, Optional, Set, Tuple
 
+from ..flash.device import EraseFailure, ProgramFailure
 from ..flash.geometry import PageAddress
 from ..flash.timing import CellMode
 from .controller import ControllerReadResult, ProgrammableFlashController
+from .errors import (
+    CacheCapacityError,
+    CacheDegradedError,
+    NoEvictableBlockError,
+    ReserveBlockLostError,
+)
 from .tables import FlashCacheHashTable
 
 __all__ = [
@@ -92,6 +107,13 @@ class FlashCacheConfig:
     #: the number of overall disk cache misses" (section 3.5), and the
     #: split design's remedy of shrinking the blocks GC must consider.
     gc_move_budget: Optional[float] = None
+    #: The graceful-degradation floor: once retirements leave fewer than
+    #: this many live (non-retired) blocks across the cache, the cache
+    #: stops serving Flash entirely and the hierarchy runs DRAM+disk.
+    #: Four is the structural minimum the constructor itself demands
+    #: (one reserve plus one allocatable block per region); below it the
+    #: split cache cannot maintain its invariants.
+    min_live_blocks: int = 4
 
     def __post_init__(self) -> None:
         if not 0.0 < self.read_fraction < 1.0:
@@ -100,6 +122,8 @@ class FlashCacheConfig:
             raise ValueError("gc_read_watermark must be in (0, 1]")
         if self.wear_threshold <= 0:
             raise ValueError("wear_threshold must be positive")
+        if self.min_live_blocks < 1:
+            raise ValueError("min_live_blocks must be positive")
 
 
 @dataclass
@@ -123,6 +147,22 @@ class CacheStats:
     wear_swaps: int = 0
     slc_promotions: int = 0
     uncorrectable: int = 0
+    # -- degradation metrics (fault handling) --------------------------------
+    #: Faults survived without data loss: the page dropped out of Flash
+    #: but the backing disk still holds its (current) content.
+    recovered_faults: int = 0
+    #: Faults that lost a *dirty* page — the disk serves stale data.
+    unrecovered_faults: int = 0
+    #: Programs that failed and were replayed onto a fresh frame.
+    remapped_programs: int = 0
+    #: Blocks the cache pulled from service after the controller retired
+    #: them (erase failures, program-failure thresholds, worn-out pages).
+    retired_blocks: int = 0
+    #: Times the cache dropped to the DRAM+disk bypass (0 or 1 per run).
+    degraded_events: int = 0
+    #: Requests served while in the degraded bypass.
+    bypass_reads: int = 0
+    bypass_writes: int = 0
 
     @property
     def read_miss_rate(self) -> float:
@@ -203,7 +243,17 @@ class FlashDiskCache:
         self.stats = CacheStats()
         self._location: Dict[int, Region] = {}  # lba -> owning log
         self._dirty: Set[int] = set()           # lbas not yet on disk
+        #: Dirty lbas whose Flash home died; they leave via the next flush.
+        self._orphan_dirty: Set[int] = set()
         self._gc_credit = 0.0                   # background move budget
+        #: True once the cache fell below its minimum-blocks floor and
+        #: handed the hierarchy back to DRAM+disk.
+        self.degraded = False
+        #: Fault-aware mode engages only when the device carries a fault
+        #: injector.  The historical wear-only studies predate cache-level
+        #: block shedding (controller retirement was advisory), and their
+        #: figures must keep reproducing bit-identically.
+        self._fault_aware = controller.device.fault_injector is not None
         num_blocks = controller.device.geometry.num_blocks
         if num_blocks < 4:
             raise ValueError("Flash disk cache needs at least 4 blocks")
@@ -230,6 +280,10 @@ class FlashDiskCache:
                 self.controller.pages_of_block(region.reserve_block))
             region.valid.setdefault(region.reserve_block, set())
             region.invalid.setdefault(region.reserve_block, 0)
+        # The controller tells us whenever a block retires so capacity
+        # bookkeeping (and the degradation floor) stays exact.
+        self.controller.retire_listener = self._on_block_retired
+        self._initial_pages = self.total_pages()
 
     def _regions(self) -> List[_RegionState]:
         if self._read is self._write:
@@ -239,7 +293,8 @@ class FlashDiskCache:
     # -- capacity queries ----------------------------------------------------
 
     def total_pages(self) -> int:
-        """Current logical page capacity across all non-retired blocks."""
+        """Current logical page capacity across all non-retired blocks
+        (bad frames excluded)."""
         seen: Set[int] = set()
         total = 0
         for region in self._regions():
@@ -248,7 +303,7 @@ class FlashDiskCache:
                     continue
                 seen.add(block)
                 if not self.controller.is_retired(block):
-                    total += self.controller.device.block_capacity_pages(block)
+                    total += self.controller.block_capacity_pages(block)
         return total
 
     def valid_pages(self) -> int:
@@ -258,6 +313,22 @@ class FlashDiskCache:
     def used_fraction(self) -> float:
         total = self.total_pages()
         return self.valid_pages() / total if total else 0.0
+
+    def live_capacity_fraction(self) -> float:
+        """Fraction of the original page capacity still in service."""
+        if self._initial_pages <= 0:
+            return 0.0
+        return self.total_pages() / self._initial_pages
+
+    def _live_blocks(self) -> int:
+        """Distinct non-retired blocks still tracked by any region."""
+        seen: Set[int] = set()
+        for region in self._regions():
+            for block in self._all_region_blocks(region):
+                if block not in seen \
+                        and not self.controller.is_retired(block):
+                    seen.add(block)
+        return len(seen)
 
     def _all_region_blocks(self, region: _RegionState) -> List[int]:
         blocks = list(region.free_blocks) + list(region.lru)
@@ -277,8 +348,13 @@ class FlashDiskCache:
 
         An uncorrectable page (CRC-confirmed) is dropped from the cache
         and reported with ``recovered=False`` so the caller refetches from
-        disk.
+        disk.  In the degraded (DRAM+disk bypass) state every read is an
+        immediate miss.
         """
+        if self.degraded:
+            self.stats.bypass_reads += 1
+            self.stats.read_misses += 1
+            return None
         self._accrue_gc_credit()
         address = self.fcht.lookup(lba)
         lookup_us = self.fcht.lookup_cost_us()
@@ -294,7 +370,16 @@ class FlashDiskCache:
         if not result.recovered:
             self.stats.uncorrectable += 1
             self._drop_page(lba, address)
-            self._dirty.discard(lba)
+            if lba in self._dirty:
+                self._dirty.discard(lba)
+                self.stats.unrecovered_faults += 1
+                if self._fault_aware:
+                    # The Flash copy was newer than the disk's; route the
+                    # LBA through the next flush so write-back accounting
+                    # stays balanced.
+                    self._orphan_dirty.add(lba)
+            else:
+                self.stats.recovered_faults += 1
             self.stats.read_misses += 1
             self.controller.fgst.record_miss(4200.0)
             return FlashReadOutcome(latency_us=latency, recovered=False)
@@ -319,13 +404,27 @@ class FlashDiskCache:
 
         Returns the (background) program latency.  Section 5.1: on a read
         miss the disk content is copied to both the PDC and the read cache.
+        A degraded cache installs nothing (the PDC alone caches the line).
         """
+        if self.degraded:
+            return 0.0
         self._accrue_gc_credit()
         old = self.fcht.lookup(lba)
         if old is not None:
             self._drop_page(lba, old)
-        address = self._allocate_page(self._read)
-        latency = self.controller.program(address, lba=lba)
+        try:
+            address, latency, flushed = \
+                self._program_with_remap(self._read, lba)
+        except CacheDegradedError:
+            if not self.config.allow_eviction_for_space:
+                raise
+            self._enter_degraded()
+            return 0.0
+        if flushed:
+            # Dirty flushes can only originate in the write region; the
+            # read region never produces them (unified mode drops them,
+            # preserving the historical accounting).
+            self.stats.flushed_pages += len(flushed)
         self._register(lba, address, self._read, Region.READ)
         self.stats.fills += 1
         return latency
@@ -337,9 +436,14 @@ class FlashDiskCache:
 
         Existing copies — in either region — are invalidated first.  The
         read region may cross the GC watermark as a result and compact in
-        the background.
+        the background.  A degraded cache forwards the write straight to
+        disk via ``flushed_lbas``.
         """
         self.stats.writes += 1
+        if self.degraded:
+            self.stats.bypass_writes += 1
+            self._orphan_dirty.discard(lba)
+            return WriteOutcome(latency_us=0.0, flushed_lbas=(lba,))
         self._accrue_gc_credit()
         flushed: List[int] = []
         existing = self.fcht.lookup(lba)
@@ -351,9 +455,17 @@ class FlashDiskCache:
             if self.config.split and region is self._read:
                 self._maybe_gc_read_region()
 
-        address, evict_flushed = self._allocate_page_collect(self._write)
+        try:
+            address, latency, evict_flushed = \
+                self._program_with_remap(self._write, lba)
+        except CacheDegradedError:
+            if not self.config.allow_eviction_for_space:
+                raise
+            self._enter_degraded()
+            self.stats.bypass_writes += 1
+            self._orphan_dirty.discard(lba)
+            return WriteOutcome(latency_us=0.0, flushed_lbas=(lba,))
         flushed.extend(evict_flushed)
-        latency = self.controller.program(address, lba=lba)
         self.stats.foreground_time_us += latency
         self._register(lba, address, self._write, Region.WRITE)
         self._dirty.add(lba)
@@ -386,15 +498,158 @@ class FlashDiskCache:
         self.controller.invalidate(address)
         self.stats.invalidations += 1
 
-    # -- allocation, eviction, wear-leveling -------------------------------------------
+    # -- fault handling and graceful degradation ----------------------------------------
 
-    def _allocate_page(self, region: _RegionState) -> PageAddress:
-        address, flushed = self._allocate_page_collect(region)
-        if flushed:
-            # Dirty flushes can only originate in the write region; the
-            # read region never produces them.
-            self.stats.flushed_pages += len(flushed)
-        return address
+    def _fault_drop(self, lba: int, address: PageAddress) -> None:
+        """Unmap a page whose Flash copy was destroyed by a fault.
+
+        No-ops when the FCHT no longer points at ``address`` (the page
+        moved or was already unmapped).  A clean page is merely
+        re-fetchable from disk (recovered); a dirty page leaves the disk
+        stale (unrecovered) but still exits through the next flush so
+        write-back accounting stays balanced.
+        """
+        if self.fcht.lookup(lba) != address:
+            return
+        self.fcht.remove(lba)
+        tag = self._location.pop(lba, None)
+        region = self._write if tag is Region.WRITE else self._read
+        pages = region.valid.get(address.block)
+        if pages is not None:
+            pages.discard(address)
+        if lba in self._dirty:
+            self._dirty.discard(lba)
+            self._orphan_dirty.add(lba)
+            self.stats.unrecovered_faults += 1
+        else:
+            self.stats.recovered_faults += 1
+
+    def _abandon_bad_frame(self, address: PageAddress) -> None:
+        """Purge every page of a frame the controller just marked bad.
+
+        The controller keeps the frame's *valid* FPST entries alive long
+        enough for us to read their LBA back-pointers; after the unmap
+        they are dropped here and the frame's addresses leave every
+        allocation queue.
+        """
+        block, frame = address.block, address.frame
+        geometry = self.controller.device.geometry
+        mode = self.controller.device.frame_mode(block, frame)
+        for subpage in range(geometry.pages_per_frame(mode)):
+            page = PageAddress(block, frame, subpage)
+            entry = self.controller.fpst.get(page)
+            if entry is not None:
+                if entry.valid and entry.lba is not None:
+                    self._fault_drop(entry.lba, page)
+                self.controller.fpst.drop(page)
+        for region in self._regions():
+            if region.open_free:
+                region.open_free = deque(
+                    a for a in region.open_free
+                    if not (a.block == block and a.frame == frame))
+            if region.reserve_free:
+                region.reserve_free = deque(
+                    a for a in region.reserve_free
+                    if not (a.block == block and a.frame == frame))
+            pages = region.valid.get(block)
+            if pages:
+                doomed = {a for a in pages if a.frame == frame}
+                pages -= doomed
+
+    def _program_with_remap(
+            self, region: _RegionState,
+            lba: Optional[int]) -> Tuple[PageAddress, float, List[int]]:
+        """Allocate and program a page, replaying onto a fresh frame after
+        each program failure.  Returns (address, total latency including
+        failed attempts, dirty LBAs flushed by evictions)."""
+        flushed: List[int] = []
+        latency = 0.0
+        while True:
+            address, evict_flushed = self._allocate_page_collect(region)
+            flushed.extend(evict_flushed)
+            try:
+                latency += self.controller.program(address, lba=lba)
+            except ProgramFailure as failure:
+                latency += failure.latency_us
+                self.stats.remapped_programs += 1
+                self._abandon_bad_frame(address)
+                continue
+            return address, latency, flushed
+
+    def _try_erase(self, block: int) -> Tuple[float, bool]:
+        """Erase a block; on failure the controller has already retired it
+        (and the retire listener pulled it from every region structure).
+        Returns (latency, success)."""
+        try:
+            return self.controller.erase(block), True
+        except EraseFailure as failure:
+            return failure.latency_us, False
+
+    def _adopt_reserve(self, region: _RegionState) -> Optional[int]:
+        """Replace a dead GC reserve with a free (erased) block."""
+        while region.free_blocks:
+            block = region.free_blocks.popleft()
+            if self.controller.is_retired(block):
+                continue
+            region.reserve_block = block
+            region.valid.setdefault(block, set())
+            region.invalid.setdefault(block, 0)
+            return block
+        return None
+
+    def _on_block_retired(self, block: int) -> None:
+        """Controller retire callback: pull the block out of service.
+
+        Active only in fault-aware mode — the wear-only studies keep the
+        historical advisory-retirement semantics (see ``_fault_aware``).
+        Data still mapped in the block is dropped (the disk has it, or it
+        leaves via the orphan flush), and the block vanishes from every
+        free/LRU/open/reserve structure, shrinking live capacity.
+        """
+        if not self._fault_aware:
+            return
+        self.stats.retired_blocks += 1
+        for region in self._regions():
+            for address in list(region.valid.get(block, ())):
+                entry = self.controller.fpst.get(address)
+                if entry is not None and entry.lba is not None:
+                    self._fault_drop(entry.lba, address)
+            region.valid.pop(block, None)
+            region.invalid.pop(block, None)
+            region.lru.pop(block, None)
+            if block in region.free_blocks:
+                region.free_blocks = deque(
+                    b for b in region.free_blocks if b != block)
+            if region.open_block == block:
+                region.open_block = None
+                region.open_free = deque()
+            if region.reserve_block == block:
+                region.reserve_block = None
+                region.reserve_free = deque()
+        self._check_degradation()
+
+    def _check_degradation(self) -> None:
+        if not self.degraded \
+                and self._live_blocks() < self.config.min_live_blocks:
+            self._enter_degraded()
+
+    def _enter_degraded(self) -> None:
+        """Drop below the minimum-blocks floor: switch the Flash off.
+
+        The cache stops serving (reads miss, writes forward to disk) and
+        sheds its mapping state; dirty data is parked in the orphan set so
+        the next flush still pushes it to disk.
+        """
+        if self.degraded:
+            return
+        self.degraded = True
+        self.stats.degraded_events += 1
+        self._orphan_dirty.update(self._dirty)
+        self._dirty.clear()
+        self.fcht = FlashCacheHashTable(buckets=self.config.fcht_buckets)
+        self._location.clear()
+
+    # -- allocation, eviction, wear-leveling -------------------------------------------
 
     def _allocate_page_collect(
             self, region: _RegionState) -> Tuple[PageAddress, List[int]]:
@@ -418,7 +673,7 @@ class FlashDiskCache:
                 collected = self._garbage_collect(region)
             if not collected:
                 if not self.config.allow_eviction_for_space:
-                    raise RuntimeError(
+                    raise CacheCapacityError(
                         "flash is full of valid pages and eviction is "
                         "disabled (SSD semantics): no space can be reclaimed")
                 flushed.extend(self._evict_block(region))
@@ -442,22 +697,36 @@ class FlashDiskCache:
         return geometry.pages_per_block(CellMode.MLC)
 
     def _open_block(self, region: _RegionState, block: int,
-                    slc: bool = False) -> None:
+                    slc: bool = False) -> bool:
+        """Open an erased block for appends.  Returns False — leaving the
+        region without an open block — when the block cannot serve: it
+        retired, its SLC format erase failed, or bad frames left it
+        without a single usable page."""
+        if self._fault_aware and self.controller.is_retired(block):
+            return False
         if slc:
-            latency = self._format_block_slc(block)
+            latency, ok = self._format_block_slc(block)
             self.stats.gc_time_us += latency
-        region.open_block = block
-        region.open_free = deque(
+            if not ok:
+                return False
+        pages = [
             address for address in self.controller.pages_of_block(block)
             if address not in region.valid.get(block, set())
-        )
+        ]
+        if not pages:
+            # Every frame is bad: the block silently leaves service.
+            return False
+        region.open_block = block
+        region.open_free = deque(pages)
         region.valid.setdefault(block, set())
         region.invalid.setdefault(block, 0)
+        return True
 
-    def _format_block_slc(self, block: int) -> float:
+    def _format_block_slc(self, block: int) -> Tuple[float, bool]:
         for frame in range(self.controller.device.geometry.frames_per_block):
-            self.controller.request_slc(PageAddress(block, frame, 0))
-        return self.controller.erase(block)
+            if not self.controller.is_bad_frame(block, frame):
+                self.controller.request_slc(PageAddress(block, frame, 0))
+        return self._try_erase(block)
 
     def _garbage_collect(self, region: _RegionState) -> bool:
         """Compact one victim block into the reserve GC log.
@@ -469,11 +738,18 @@ class FlashDiskCache:
         most-invalid (cheapest move per page reclaimed); all work runs in
         the background (time booked to ``gc_time_us``).  Returns False
         when no victim fits the remaining reserve space (the caller falls
-        back to eviction).
+        back to eviction) or, in SSD mode, when the reserve died and no
+        free block can replace it (:class:`ReserveBlockLostError`).
         """
         reserve = region.reserve_block
         if reserve is None:
-            raise RuntimeError("region lost its reserve block")
+            reserve = self._adopt_reserve(region)
+            if reserve is None:
+                if not self.config.allow_eviction_for_space:
+                    raise ReserveBlockLostError(
+                        "GC reserve block died and no free block can "
+                        "replace it")
+                return False
         region.reserve_free = deque(self.controller.pages_of_block(reserve))
         allowance = self._gc_move_allowance()
         max_moves = len(region.reserve_free)
@@ -488,34 +764,73 @@ class FlashDiskCache:
         elapsed = 0.0
         for address in sorted(region.valid.get(victim, set()),
                               key=lambda a: (a.frame, a.subpage)):
+            if self._fault_aware and self.controller.is_retired(victim):
+                # The victim retired under us (read-triggered wear-out or
+                # fault); the listener already dropped its leftover pages.
+                break
             lba = self.controller.fpst.entry(address).lba
             read_result = self.controller.read(address)
             elapsed += read_result.latency_us
-            target = region.reserve_free.popleft()
-            elapsed += self.controller.program(target, lba=lba)
+            if self._fault_aware and not read_result.recovered:
+                # The copy is unreadable: dropping it is safe (the disk
+                # has the data) and better than propagating garbage.
+                self.stats.uncorrectable += 1
+                if lba is not None:
+                    self._fault_drop(lba, address)
+                continue
+            moved = False
+            while region.reserve_free:
+                target = region.reserve_free.popleft()
+                try:
+                    elapsed += self.controller.program(target, lba=lba)
+                except ProgramFailure as failure:
+                    elapsed += failure.latency_us
+                    self.stats.remapped_programs += 1
+                    self._abandon_bad_frame(target)
+                    continue
+                moved = True
+                break
+            if not moved:
+                # Bad frames ran the reserve dry mid-pass; the page
+                # cannot move, so it falls out of the cache.
+                if lba is not None:
+                    self._fault_drop(lba, address)
+                continue
             self.stats.gc_page_moves += 1
             if lba is not None:
                 self.fcht.insert(lba, target)
             region.valid.setdefault(reserve, set()).add(target)
-        elapsed += self.controller.erase(victim)
-        region.lru.pop(victim, None)
-        region.valid[victim] = set()
-        region.invalid[victim] = 0
+        erase_latency, erase_ok = self._try_erase(victim)
+        elapsed += erase_latency
         # The erased victim becomes the new spare; the partially filled
         # old spare must not strand its remaining erased pages, so it
         # becomes the region's open block when possible, otherwise its
-        # unused slots are booked as reclaimable (invalid) space.
+        # unused slots are booked as reclaimable (invalid) space.  When a
+        # fault killed the victim (or the reserve) mid-pass, the retire
+        # listener already pulled the dead block from the region and the
+        # surviving side simply keeps its role where it can.
         remaining = region.reserve_free
-        region.reserve_block = victim
         region.reserve_free = deque()
-        region.invalid.setdefault(reserve, 0)
-        if region.open_block is None:
-            region.open_block = reserve
-            region.open_free = remaining
-        else:
-            region.lru[reserve] = None
-            region.lru.move_to_end(reserve)
-            region.invalid[reserve] += len(remaining)
+        reserve_alive = region.reserve_block == reserve
+        if erase_ok and not (self._fault_aware
+                             and self.controller.is_retired(victim)):
+            region.lru.pop(victim, None)
+            region.valid[victim] = set()
+            region.invalid[victim] = 0
+            region.reserve_block = victim
+        elif reserve_alive:
+            # Victim died: the old reserve now carries content, so it must
+            # leave reserve duty; a replacement is adopted on the next GC.
+            region.reserve_block = None
+        if reserve_alive:
+            region.invalid.setdefault(reserve, 0)
+            if region.open_block is None:
+                region.open_block = reserve
+                region.open_free = remaining
+            else:
+                region.lru[reserve] = None
+                region.lru.move_to_end(reserve)
+                region.invalid[reserve] += len(remaining)
         self.stats.gc_time_us += elapsed
         return True
 
@@ -540,10 +855,17 @@ class FlashDiskCache:
         Read-region content is clean and simply dropped; write-region
         content is dirty and must flush to disk (section 5.1).
         """
-        if not region.lru:
-            raise RuntimeError("eviction requested but region has no blocks")
-        victim = next(iter(region.lru))
-        victim = self._wear_level_victim(region, victim)
+        while True:
+            if not region.lru:
+                raise NoEvictableBlockError(
+                    "eviction requested but region has no blocks")
+            candidate = next(iter(region.lru))
+            chosen = self._wear_level_victim(region, candidate)
+            if chosen is not None:
+                victim = chosen
+                break
+            # A fault destroyed the candidate mid-swap; the retire
+            # listener pulled it from the LRU, so pick another.
         flushed: List[int] = []
         for address in list(region.valid.get(victim, set())):
             lba = self.controller.fpst.entry(address).lba
@@ -553,12 +875,16 @@ class FlashDiskCache:
                     self._dirty.discard(lba)
                 self.fcht.remove(lba)
                 self._location.pop(lba, None)
-        erase_latency = self.controller.erase(victim)
+        erase_latency, erase_ok = self._try_erase(victim)
         self.stats.foreground_time_us += erase_latency
-        region.lru.pop(victim, None)
-        region.valid[victim] = set()
-        region.invalid[victim] = 0
-        region.free_blocks.append(victim)
+        if erase_ok and not (self._fault_aware
+                             and self.controller.is_retired(victim)):
+            region.lru.pop(victim, None)
+            region.valid[victim] = set()
+            region.invalid[victim] = 0
+            region.free_blocks.append(victim)
+        # On erase failure (or a mid-erase retirement) the retire listener
+        # already removed the block; its capacity is simply gone.
         if region is self._write and self.config.split:
             self.stats.write_evictions += 1
         else:
@@ -566,10 +892,12 @@ class FlashDiskCache:
         self.stats.flushed_pages += len(flushed)
         return flushed
 
-    def _wear_level_victim(self, region: _RegionState, victim: int) -> int:
+    def _wear_level_victim(self, region: _RegionState,
+                           victim: int) -> Optional[int]:
         """Section 3.6: swap in the globally newest block when the LRU
         victim is too worn, migrating the newest block's content into the
-        victim first."""
+        victim first.  Returns ``None`` when a fault destroyed the victim
+        mid-swap (the caller picks a new one)."""
         newest = self._global_newest_block(exclude={victim})
         if newest is None:
             return victim
@@ -587,7 +915,10 @@ class FlashDiskCache:
             # mismatch); skip the swap rather than drop pages.
             return victim
         self.stats.wear_swaps += 1
-        elapsed = self.controller.erase(victim)
+        elapsed, erase_ok = self._try_erase(victim)
+        if not erase_ok:
+            self.stats.gc_time_us += elapsed
+            return None
         victim_region = region
         # Migrate newest -> victim; the two blocks swap owners.
         moved: Set[PageAddress] = set()
@@ -596,12 +927,41 @@ class FlashDiskCache:
             lba = self.controller.fpst.entry(address).lba
             read_result = self.controller.read(address)
             elapsed += read_result.latency_us
-            target = victim_pages.popleft()
-            elapsed += self.controller.program(target, lba=lba)
+            if self._fault_aware and not read_result.recovered:
+                self.stats.uncorrectable += 1
+                if lba is not None:
+                    self._fault_drop(lba, address)
+                continue
+            placed = False
+            while victim_pages:
+                target = victim_pages.popleft()
+                try:
+                    elapsed += self.controller.program(target, lba=lba)
+                except ProgramFailure as failure:
+                    elapsed += failure.latency_us
+                    self.stats.remapped_programs += 1
+                    self._abandon_bad_frame(target)
+                    # The helper cannot see our local deque: purge the
+                    # dead frame's remaining pages from it here.
+                    victim_pages = deque(
+                        a for a in victim_pages
+                        if not (a.block == target.block
+                                and a.frame == target.frame))
+                    continue
+                placed = True
+                break
+            if not placed:
+                if lba is not None:
+                    self._fault_drop(lba, address)
+                continue
             if lba is not None:
                 self.fcht.insert(lba, target)
             moved.add(target)
         self.stats.gc_time_us += elapsed
+        if self._fault_aware and self.controller.is_retired(victim):
+            # Program failures retired the victim mid-migration; whatever
+            # moved into it was already dropped by the retire listener.
+            return None
         # Victim block now carries the newest block's content and takes its
         # place in the newest block's region LRU.
         newest_region.lru.pop(newest, None)
@@ -646,7 +1006,7 @@ class FlashDiskCache:
     def _maybe_gc_read_region(self) -> None:
         region = self._read
         capacity = sum(
-            self.controller.device.block_capacity_pages(block)
+            self.controller.block_capacity_pages(block)
             for block in region.lru
         )
         if capacity == 0:
@@ -665,9 +1025,45 @@ class FlashDiskCache:
         target = self._slc_page(region)
         if target is None:
             return  # no capacity for promotion right now
-        elapsed = self.controller.read(address).latency_us
+        read_result = self.controller.read(address)
+        elapsed = read_result.latency_us
+        if self._fault_aware and not read_result.recovered:
+            # Source page unreadable: the promotion dies and so does the
+            # cached copy; give the SLC slot back.
+            region.open_free.appendleft(target)
+            self.stats.uncorrectable += 1
+            self._drop_page(lba, address)
+            if lba in self._dirty:
+                self._dirty.discard(lba)
+                self._orphan_dirty.add(lba)
+                self.stats.unrecovered_faults += 1
+            else:
+                self.stats.recovered_faults += 1
+            self.stats.gc_time_us += elapsed
+            return
         self._drop_page(lba, address)
-        elapsed += self.controller.program(target, lba=lba)
+        while True:
+            try:
+                elapsed += self.controller.program(target, lba=lba)
+                break
+            except ProgramFailure as failure:
+                elapsed += failure.latency_us
+                self.stats.remapped_programs += 1
+                self._abandon_bad_frame(target)
+                next_target = self._slc_page(region)
+                if next_target is None:
+                    # Promotion abandoned and the Flash copy is gone; a
+                    # dirty page still reaches the disk via the orphan
+                    # flush.
+                    if lba in self._dirty:
+                        self._dirty.discard(lba)
+                        self._orphan_dirty.add(lba)
+                        self.stats.unrecovered_faults += 1
+                    else:
+                        self.stats.recovered_faults += 1
+                    self.stats.gc_time_us += elapsed
+                    return
+                target = next_target
         entry = self.controller.fpst.entry(target)
         entry.saturate()
         self._register(lba, target, region, tag)
@@ -688,7 +1084,8 @@ class FlashDiskCache:
         if region.open_block is not None:
             region.lru[region.open_block] = None
             region.lru.move_to_end(region.open_block)
-        self._open_block(region, block, slc=True)
+        if not self._open_block(region, block, slc=True):
+            return None  # formatting failed; skip the promotion
         return region.open_free.popleft()
 
     # -- maintenance -----------------------------------------------------------------------
@@ -697,8 +1094,9 @@ class FlashDiskCache:
         """Flush dirty pages to disk: returns every dirty LBA and marks it
         clean; the pages stay cached and readable (section 5.1: "The disk
         is eventually updated by flushing the write disk cache")."""
-        flushed = sorted(self._dirty)
+        flushed = sorted(set(self._dirty) | self._orphan_dirty)
         self._dirty.clear()
+        self._orphan_dirty.clear()
         self.stats.flushed_pages += len(flushed)
         return flushed
 

@@ -30,10 +30,10 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Callable, Dict, List, Optional, Set
 
 from ..ecc.latency import AcceleratorConfig, BCHLatencyModel
-from ..flash.device import FlashDevice
+from ..flash.device import EraseFailure, FlashDevice, ProgramFailure
 from ..flash.geometry import PageAddress
 from ..flash.timing import CellMode
 from .tables import (
@@ -83,10 +83,23 @@ class ControllerConfig:
     #: Reduction in read latency from an MLC->SLC switch (50us -> 25us).
     #: Derived from timing at runtime; this is only a fallback.
     slc_read_gain_us: float = 25.0
+    #: Read-retry ladder depth: when a read exceeds the page's correction
+    #: strength, re-sense up to this many times (each retry costs a full
+    #: NAND read plus decode) before declaring it uncorrectable.  Retries
+    #: only help against *transient* errors (read disturb, injected
+    #: bursts); 0 disables the ladder, preserving the historical
+    #: single-sense behaviour for wear-only studies.
+    read_retry_max: int = 0
+    #: Retire a block after this many program failures across its frames.
+    program_fail_retire_threshold: int = 4
 
     def __post_init__(self) -> None:
         if not 1 <= self.initial_ecc_strength <= self.max_ecc_strength:
             raise ValueError("initial ECC strength outside [1, max]")
+        if self.read_retry_max < 0:
+            raise ValueError("read_retry_max must be non-negative")
+        if self.program_fail_retire_threshold < 1:
+            raise ValueError("program_fail_retire_threshold must be >= 1")
 
 
 @dataclass(frozen=True)
@@ -112,6 +125,12 @@ class ControllerStats:
     uncorrectable_reads: int = 0
     blocks_retired: int = 0
     hot_promotions: int = 0
+    # -- degradation metrics (fault handling) --------------------------------
+    read_retries: int = 0          # extra senses spent in the retry ladder
+    retry_recovered_reads: int = 0  # reads saved by a re-sense
+    program_faults: int = 0        # program-status failures observed
+    erase_faults: int = 0          # erase-status failures observed
+    frames_marked_bad: int = 0     # frames pulled from service
 
     @property
     def descriptor_updates(self) -> int:
@@ -158,8 +177,14 @@ class ProgrammableFlashController:
         #: page (the paper's runtime-measured "delta miss").  When None, a
         #: uniform-popularity estimate is derived from the FGST.
         self.marginal_miss_estimate: Optional[float] = None
+        #: Invoked with the block index whenever a block retires, so the
+        #: cache layer can pull it from service and shrink its capacity.
+        self.retire_listener: Optional[Callable[[int], None]] = None
         # Pending density changes keyed by (block, frame), applied at erase.
         self._pending_modes: Dict[tuple[int, int], CellMode] = {}
+        # Frames with program-status failures: permanently out of service.
+        self._bad_frames: Set[tuple[int, int]] = set()
+        self._program_fail_counts: Dict[int, int] = {}
         self._decode_cache: Dict[int, float] = {}
         self._encode_cache: Dict[int, float] = {}
 
@@ -186,7 +211,14 @@ class ProgrammableFlashController:
     # -- mediated NAND operations ------------------------------------------------
 
     def read(self, address: PageAddress) -> ControllerReadResult:
-        """Timed page read with ECC decode and reconfiguration triggers."""
+        """Timed page read with ECC decode and reconfiguration triggers.
+
+        When the first sense exceeds the page's correction strength and
+        ``read_retry_max`` allows it, the controller re-senses: transient
+        errors (read disturb) can vanish on a retry, turning a would-be
+        uncorrectable read into a recovered one.  Every retry costs a full
+        NAND read plus decode, charged to the returned latency.
+        """
         entry = self.fpst.entry(address)
         raw = self.device.read_page(address)
         entry.mode = raw.mode  # FPST reflects the physical frame mode
@@ -194,11 +226,24 @@ class ProgrammableFlashController:
             + CRC_CHECK_US
         self.stats.reads += 1
 
-        recovered = raw.raw_bit_errors <= entry.ecc_strength
+        errors = raw.raw_bit_errors
+        retries = 0
+        while errors > entry.ecc_strength \
+                and retries < self.config.read_retry_max:
+            retries += 1
+            self.stats.read_retries += 1
+            resense = self.device.read_page(address)
+            latency += resense.latency_us \
+                + self._decode_us(entry.ecc_strength) + CRC_CHECK_US
+            errors = min(errors, resense.raw_bit_errors)
+
+        recovered = errors <= entry.ecc_strength
+        if retries and recovered:
+            self.stats.retry_recovered_reads += 1
         if not recovered:
             self.stats.uncorrectable_reads += 1
         reconfig: Optional[ReconfigKind] = None
-        if raw.raw_bit_errors >= entry.ecc_strength:
+        if errors >= entry.ecc_strength:
             # At (or past) the correction limit: reconfigure per 5.2.1.
             reconfig = self._respond_to_faults(address, entry)
 
@@ -208,7 +253,7 @@ class ProgrammableFlashController:
             self.stats.hot_promotions += 1
         return ControllerReadResult(
             latency_us=latency,
-            corrected_errors=min(raw.raw_bit_errors, entry.ecc_strength),
+            corrected_errors=min(errors, entry.ecc_strength),
             recovered=recovered,
             reconfig=reconfig,
             hot_promotion=hot,
@@ -216,8 +261,20 @@ class ProgrammableFlashController:
 
     def program(self, address: PageAddress, lba: Optional[int] = None,
                 data: Optional[bytes] = None) -> float:
-        """Timed page program with ECC encode; registers the page in FPST."""
-        result = self.device.program_page(address, data)
+        """Timed page program with ECC encode; registers the page in FPST.
+
+        A :class:`~repro.flash.device.ProgramFailure` from the device is
+        re-raised after bookkeeping: the frame is marked bad (its pages
+        leave the address space) and the block retires once it has
+        accumulated ``program_fail_retire_threshold`` failures.  The
+        caller is expected to remap the data to a fresh page.
+        """
+        try:
+            result = self.device.program_page(address, data)
+        except ProgramFailure:
+            self.stats.programs += 1
+            self._note_program_failure(address)
+            raise
         entry = self.fpst.entry(address)
         entry.mode = result.mode
         entry.valid = True
@@ -226,19 +283,54 @@ class ProgrammableFlashController:
         self.stats.programs += 1
         return result.latency_us + self._encode_us(entry.ecc_strength)
 
+    def _note_program_failure(self, address: PageAddress) -> None:
+        """Pull a failing frame out of service; retire the block after K."""
+        self.stats.program_faults += 1
+        key = (address.block, address.frame)
+        if key not in self._bad_frames:
+            self._bad_frames.add(key)
+            self.stats.frames_marked_bad += 1
+            # The frame's pages leave the address space.  Only *invalid*
+            # entries drop immediately: valid ones keep their LBA
+            # back-pointers so the cache layer can unmap the data they
+            # held before abandoning the frame.
+            mode = self.device.frame_mode(address.block, address.frame)
+            for subpage in range(
+                    self.device.geometry.pages_per_frame(mode)):
+                page = PageAddress(address.block, address.frame, subpage)
+                entry = self.fpst.get(page)
+                if entry is not None and not entry.valid:
+                    self.fpst.drop(page)
+        failures = self._program_fail_counts.get(address.block, 0) + 1
+        self._program_fail_counts[address.block] = failures
+        if failures >= self.config.program_fail_retire_threshold:
+            self._retire_block(address.block)
+
     def erase(self, block: int) -> float:
-        """Timed block erase; applies pended density reconfigurations."""
+        """Timed block erase; applies pended density reconfigurations.
+
+        An :class:`~repro.flash.device.EraseFailure` retires the block
+        (the firmware convention) and is re-raised so the cache layer can
+        drop the block from its capacity.
+        """
         new_modes = {
             frame: mode
             for (blk, frame), mode in list(self._pending_modes.items())
             if blk == block
         }
-        for frame in new_modes:
-            del self._pending_modes[(block, frame)]
         # Capture the *pre-erase* page layout: an MLC->SLC switch halves
         # the address space and the vanished subpage-1 entries must drop.
         stale_pages = self.pages_of_block(block)
-        result = self.device.erase_block(block, new_modes=new_modes or None)
+        try:
+            result = self.device.erase_block(block,
+                                             new_modes=new_modes or None)
+        except EraseFailure:
+            self.stats.erases += 1
+            self.stats.erase_faults += 1
+            self._retire_block(block)
+            raise
+        for frame in new_modes:
+            del self._pending_modes[(block, frame)]
         fbst_entry = self.fbst.entry(block)
         fbst_entry.erase_count = result.erase_count
         geometry = self.device.geometry
@@ -358,6 +450,8 @@ class ProgrammableFlashController:
         if not entry.retired:
             entry.retired = True
             self.stats.blocks_retired += 1
+            if self.retire_listener is not None:
+                self.retire_listener(block)
 
     def _account_page_ecc(self, block: int, ecc_delta: int,
                           mode: Optional[CellMode]) -> None:
@@ -366,14 +460,34 @@ class ProgrammableFlashController:
     # -- queries used by the cache layer ---------------------------------------
 
     def pages_of_block(self, block: int) -> List[PageAddress]:
-        """All page addresses the block offers under current frame modes."""
+        """All page addresses the block offers under current frame modes.
+
+        Frames marked bad by program failures are excluded — their pages
+        have left the address space.
+        """
         geometry = self.device.geometry
         pages: List[PageAddress] = []
         for frame in range(geometry.frames_per_block):
+            if (block, frame) in self._bad_frames:
+                continue
             mode = self.device.frame_mode(block, frame)
             for subpage in range(geometry.pages_per_frame(mode)):
                 pages.append(PageAddress(block, frame, subpage))
         return pages
+
+    def block_capacity_pages(self, block: int) -> int:
+        """Logical pages the block offers, net of bad frames."""
+        geometry = self.device.geometry
+        total = 0
+        for frame in range(geometry.frames_per_block):
+            if (block, frame) in self._bad_frames:
+                continue
+            total += geometry.pages_per_frame(
+                self.device.frame_mode(block, frame))
+        return total
+
+    def is_bad_frame(self, block: int, frame: int) -> bool:
+        return (block, frame) in self._bad_frames
 
     def wear_out(self, block: int) -> float:
         return self.fbst.wear_out(block)

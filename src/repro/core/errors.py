@@ -1,0 +1,58 @@
+"""Typed exceptions of the Flash disk-cache layers.
+
+Every crash path in :mod:`repro.core.cache` raises one of these instead
+of a bare ``RuntimeError``, so callers can distinguish "the cache is
+degrading and should fall back" from genuine bugs.  They subclass
+``RuntimeError`` for backward compatibility with callers (and tests)
+that predate the typed hierarchy.
+
+The split between the two branches matters:
+
+* :class:`CacheCapacityError` is *by design*: in the SSD configuration
+  (``allow_eviction_for_space=False``) every page is precious, so a full
+  device genuinely cannot accept another write.  It always propagates.
+* :class:`CacheDegradedError` and its subclasses mean the cache has lost
+  hardware (retired blocks, a dead reserve) — in disk-cache semantics
+  the cache catches these itself and degrades to a DRAM+disk bypass
+  rather than failing, because the backing disk always has the data.
+"""
+
+from __future__ import annotations
+
+__all__ = [
+    "CacheError",
+    "CacheCapacityError",
+    "CacheDegradedError",
+    "ReserveBlockLostError",
+    "NoEvictableBlockError",
+]
+
+
+class CacheError(RuntimeError):
+    """Base class for Flash disk-cache errors."""
+
+
+class CacheCapacityError(CacheError):
+    """The Flash is full of valid pages and eviction is disabled.
+
+    Raised only under SSD semantics (``allow_eviction_for_space=False``),
+    where dropping data is forbidden and garbage collection is the only
+    reclaim mechanism; a disk cache never raises this.
+    """
+
+
+class CacheDegradedError(CacheError):
+    """The cache has lost capacity or structure it needs to operate.
+
+    In disk-cache semantics these are recovery signals, not failures: the
+    cache layer catches them, sheds the affected state, and keeps serving
+    (degrading to a DRAM+disk bypass below its minimum-blocks floor).
+    """
+
+
+class ReserveBlockLostError(CacheDegradedError):
+    """A region's GC reserve block died and no free block could replace it."""
+
+
+class NoEvictableBlockError(CacheDegradedError):
+    """Eviction was requested but the region has no content blocks left."""

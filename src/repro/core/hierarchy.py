@@ -30,6 +30,7 @@ from typing import Dict, Iterable, Optional
 from ..dram.model import DramModel
 from ..dram.page_cache import PrimaryDiskCache
 from ..disk.model import DiskModel
+from ..faults.injector import FaultConfig, FaultInjector
 from ..flash.device import FlashDevice
 from ..flash.geometry import FlashGeometry
 from ..flash.timing import CellMode
@@ -292,19 +293,26 @@ def build_flash_system(
     initial_mode: CellMode = CellMode.MLC,
     seed: int = 0,
     power_model_dram_bytes: int | None = None,
+    fault_config: FaultConfig | None = None,
 ) -> FlashBackedSystem:
     """Convenience factory wiring device -> controller -> cache -> system.
 
     ``flash_bytes`` is the MLC-mode data capacity (Table 3 sizes Flash this
     way); wear modelling is off unless a ``lifetime_model`` is supplied,
-    which keeps pure performance studies fast.
+    which keeps pure performance studies fast.  A ``fault_config`` with any
+    non-zero rate attaches a deterministic fault injector to the device
+    and switches the cache into fault-aware graceful degradation.
     """
     geometry = FlashGeometry.for_capacity(flash_bytes, mode=initial_mode)
+    injector = None
+    if fault_config is not None and fault_config.any_enabled:
+        injector = FaultInjector(fault_config)
     device = FlashDevice(
         geometry=geometry,
         lifetime_model=lifetime_model,
         initial_mode=initial_mode,
         seed=seed,
+        fault_injector=injector,
     )
     controller = ProgrammableFlashController(
         device, config=controller_config)

@@ -1,0 +1,149 @@
+"""Graceful degradation of the Flash disk cache under injected faults.
+
+The paper's reliability argument (sections 4 and 6.3) is that a Flash
+disk cache, unlike a Flash *disk*, is allowed to fail: every byte it
+holds also lives on the hard drive (or reaches it via the write-back
+flush), so hardware faults should cost performance, never correctness or
+availability.  This experiment exercises that claim end to end with the
+deterministic fault injector of :mod:`repro.faults`:
+
+* a single-knob fault-rate sweep (transient read-disturb bursts, program
+  and erase status failures, infant-mortality block deaths) is replayed
+  against the full DRAM + Flash + disk hierarchy;
+* every run must complete without an unhandled exception — the cache
+  absorbs uncorrectable reads as misses, remaps failed programs, retires
+  failing blocks, and below its minimum-blocks floor switches itself off
+  and serves from DRAM+disk alone;
+* each run is repeated with the controller's read-retry ladder enabled,
+  showing transient faults being ridden out by re-sensing (fewer
+  uncorrectable reads, fewer cache drops) at a small latency cost.
+
+The printed table reports, per fault rate: the read miss rate, the live
+capacity fraction left at the end, whether the cache ended degraded, and
+the recovery counters (recovered vs unrecovered faults, program remaps,
+retired blocks) with and without the retry ladder.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence
+
+from ..core.controller import ControllerConfig
+from ..core.hierarchy import build_flash_system
+from ..faults.injector import FaultConfig
+from ..sim.engine import SimulationReport, run_trace
+from ..workloads.macro import build_workload
+
+__all__ = [
+    "FaultDegradationPoint",
+    "run_fault_sweep",
+    "DEFAULT_FAULT_RATES",
+]
+
+#: The sweep's x axis: per-read burst probability fed to
+#: :meth:`FaultConfig.uniform` (hard faults are derived an order of
+#: magnitude rarer).  Zero anchors the fault-free baseline.
+DEFAULT_FAULT_RATES = (0.0, 0.005, 0.02, 0.08, 0.2)
+
+
+@dataclass(frozen=True)
+class FaultDegradationPoint:
+    """Outcome of one trace replay at one fault rate."""
+
+    fault_rate: float
+    read_retry_max: int
+    miss_rate: float
+    live_capacity: float
+    degraded: bool
+    recovered_faults: int
+    unrecovered_faults: int
+    remapped_programs: int
+    retired_blocks: int
+    uncorrectable_reads: int
+    retry_recovered_reads: int
+    injected_faults: int
+
+    @property
+    def survived(self) -> bool:
+        """The availability claim: the run finished serving requests."""
+        return True  # constructing the point requires the run to finish
+
+
+def _run_one(rate: float, read_retry_max: int, *, dram_bytes: int,
+             flash_bytes: int, num_records: int, footprint_pages: int,
+             seed: int) -> SimulationReport:
+    fault_config = (FaultConfig.uniform(rate, seed=seed)
+                    if rate > 0.0 else None)
+    system = build_flash_system(
+        dram_bytes=dram_bytes,
+        flash_bytes=flash_bytes,
+        controller_config=ControllerConfig(read_retry_max=read_retry_max),
+        fault_config=fault_config,
+        seed=seed,
+    )
+    trace = build_workload("dbt2", num_records=num_records,
+                           footprint_pages=footprint_pages, seed=seed)
+    return run_trace(system, trace)
+
+
+def run_fault_sweep(
+    fault_rates: Sequence[float] = DEFAULT_FAULT_RATES,
+    retry_depths: Sequence[int] = (0, 2),
+    dram_bytes: int = 2 << 20,
+    flash_bytes: int = 8 << 20,
+    num_records: int = 6000,
+    footprint_pages: int = 8192,
+    seed: int = 3,
+) -> List[FaultDegradationPoint]:
+    """Replay the same trace at each (fault rate, retry depth) pair.
+
+    Determinism contract: identical arguments produce identical points —
+    the injector, workload generator, and device all derive their RNG
+    streams from the seeds above.
+    """
+    points: List[FaultDegradationPoint] = []
+    for rate in fault_rates:
+        for retry in retry_depths:
+            report = _run_one(
+                rate, retry, dram_bytes=dram_bytes,
+                flash_bytes=flash_bytes, num_records=num_records,
+                footprint_pages=footprint_pages, seed=seed)
+            flash = report.flash
+            controller = report.controller
+            assert flash is not None and controller is not None
+            points.append(FaultDegradationPoint(
+                fault_rate=rate,
+                read_retry_max=retry,
+                miss_rate=flash.read_miss_rate,
+                live_capacity=report.flash_live_capacity,
+                degraded=report.flash_degraded,
+                recovered_faults=flash.recovered_faults,
+                unrecovered_faults=flash.unrecovered_faults,
+                remapped_programs=flash.remapped_programs,
+                retired_blocks=flash.retired_blocks,
+                uncorrectable_reads=controller.uncorrectable_reads,
+                retry_recovered_reads=controller.retry_recovered_reads,
+                injected_faults=(report.faults.total
+                                 if report.faults is not None else 0),
+            ))
+    return points
+
+
+def main() -> None:
+    print("Fault injection and graceful degradation "
+          "(dbt2 disk cache, uniform fault sweep)")
+    print(f"{'rate':>6} {'retry':>5} {'miss':>8} {'live':>7} {'degr':>5} "
+          f"{'recov':>6} {'lost':>5} {'remap':>6} {'retired':>7} "
+          f"{'uncorr':>7} {'resaved':>7}")
+    for point in run_fault_sweep():
+        print(f"{point.fault_rate:6.3f} {point.read_retry_max:>5} "
+              f"{point.miss_rate:8.3%} {point.live_capacity:7.3f} "
+              f"{str(point.degraded):>5} {point.recovered_faults:>6} "
+              f"{point.unrecovered_faults:>5} {point.remapped_programs:>6} "
+              f"{point.retired_blocks:>7} {point.uncorrectable_reads:>7} "
+              f"{point.retry_recovered_reads:>7}")
+
+
+if __name__ == "__main__":
+    main()

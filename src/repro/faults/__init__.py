@@ -1,0 +1,12 @@
+"""Deterministic fault injection for robustness and degradation studies.
+
+Plug a :class:`FaultInjector` into a :class:`~repro.flash.device.FlashDevice`
+(or pass a :class:`FaultConfig` to
+:func:`~repro.core.hierarchy.build_flash_system`) to subject the whole
+stack to transient read-disturb bursts, program/erase status failures,
+and infant-mortality block deaths — all seeded and reproducible.
+"""
+
+from .injector import FaultConfig, FaultInjector, FaultStats
+
+__all__ = ["FaultConfig", "FaultInjector", "FaultStats"]

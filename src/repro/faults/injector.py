@@ -1,0 +1,197 @@
+"""Deterministic fault injection for the NAND device (robustness studies).
+
+The paper's controller exists because NAND fails in service: cells wear
+out, reads disturb neighbours, programs and erases report status failures,
+and some blocks die young ("infant mortality").  The wear model in
+:mod:`repro.flash.wear` covers the slow, monotonic part of that story;
+this module covers the *event* faults, so the layers above the device —
+controller retry ladders, cache remapping, capacity degradation — can be
+exercised deterministically.
+
+Four fault classes, all seeded and reproducible:
+
+* **read-disturb bursts** — a read occasionally starts a burst of
+  transient raw bit errors on its frame that persists for the next few
+  reads (until the implied refresh/rewrite), modelling read-disturb and
+  retention hiccups.  Transient means a re-sense can see fewer errors,
+  which is what makes the controller's read-retry ladder worthwhile.
+* **program failures** — a program operation reports a status failure;
+  the page frame must be treated as bad and the data placed elsewhere.
+* **erase failures** — an erase reports a status failure; real firmware
+  retires the block on the spot.
+* **infant mortality** — a whole block is congenitally bad.  Membership
+  is decided per block from the seed alone (order-independent), so the
+  same configuration always kills the same blocks.
+
+Determinism contract: every fault stream has its own :class:`random.Random`
+derived from the configured seed, so e.g. program traffic never perturbs
+the read-disturb stream.  Two runs with the same config, workload, and
+seed make identical fault decisions.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from random import Random
+from typing import Dict, Optional
+
+__all__ = ["FaultConfig", "FaultStats", "FaultInjector"]
+
+
+@dataclass(frozen=True)
+class FaultConfig:
+    """Fault rates and shapes; all rates default to zero (no injection)."""
+
+    #: Per read: probability that this read starts a read-disturb burst on
+    #: its frame.
+    read_disturb_rate: float = 0.0
+    #: Raw bit errors a burst adds to each affected read.
+    read_disturb_bits: int = 24
+    #: How many subsequent reads of the frame the burst persists for.
+    #: A re-sense during the burst redraws a (geometrically decaying)
+    #: error count, so retries can genuinely recover.
+    read_disturb_span: int = 3
+    #: Per program: probability of a program-status failure.
+    program_fail_rate: float = 0.0
+    #: Per erase: probability of an erase-status failure.
+    erase_fail_rate: float = 0.0
+    #: Per block: probability the block is congenitally dead.
+    infant_mortality_rate: float = 0.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("read_disturb_rate", "program_fail_rate",
+                     "erase_fail_rate", "infant_mortality_rate"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.read_disturb_bits < 1:
+            raise ValueError("read_disturb_bits must be positive")
+        if self.read_disturb_span < 0:
+            raise ValueError("read_disturb_span must be non-negative")
+
+    @property
+    def any_enabled(self) -> bool:
+        return (self.read_disturb_rate > 0.0
+                or self.program_fail_rate > 0.0
+                or self.erase_fail_rate > 0.0
+                or self.infant_mortality_rate > 0.0)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "FaultConfig":
+        """One knob for sweeps: transient read faults at ``rate``, hard
+        program/erase faults an order of magnitude rarer, infant deaths
+        rarer still (hard faults are rarer than disturbs in practice)."""
+        return cls(
+            read_disturb_rate=rate,
+            program_fail_rate=rate / 10.0,
+            erase_fail_rate=rate / 20.0,
+            infant_mortality_rate=min(rate / 5.0, 1.0),
+            seed=seed,
+        )
+
+
+@dataclass
+class FaultStats:
+    """Counts of injected fault events (not of their downstream handling)."""
+
+    read_disturbs: int = 0       # bursts started
+    disturbed_reads: int = 0     # reads that saw burst errors
+    program_faults: int = 0
+    erase_faults: int = 0
+    dead_blocks: int = 0         # infant-mortality blocks actually touched
+
+    @property
+    def total(self) -> int:
+        return (self.read_disturbs + self.program_faults
+                + self.erase_faults + self.dead_blocks)
+
+
+class FaultInjector:
+    """Seeded, deterministic fault source queried by :class:`FlashDevice`.
+
+    The device consults the injector on every read/program/erase; the
+    injector answers from independent per-stream RNGs and keeps the burst
+    and infant-mortality state.
+    """
+
+    def __init__(self, config: FaultConfig | None = None):
+        self.config = config or FaultConfig()
+        self.stats = FaultStats()
+        seed = self.config.seed
+        # Independent streams: faults of one kind never perturb another.
+        self._read_rng = Random((seed << 2) | 1)
+        self._program_rng = Random((seed << 2) | 2)
+        self._erase_rng = Random((seed << 2) | 3)
+        # (block, frame) -> remaining burst reads.
+        self._bursts: Dict[tuple[int, int], int] = {}
+        self._dead: Dict[int, bool] = {}
+
+    # -- infant mortality -----------------------------------------------------
+
+    def block_dead(self, block: int) -> bool:
+        """Whether ``block`` died in infancy.
+
+        The fate is a pure function of (seed, block) — independent of
+        query order — so a sweep that touches blocks in a different order
+        still kills the same ones.
+        """
+        rate = self.config.infant_mortality_rate
+        if rate <= 0.0:
+            return False
+        cached = self._dead.get(block)
+        if cached is None:
+            cached = Random((self.config.seed << 24) ^ block).random() < rate
+            self._dead[block] = cached
+            if cached:
+                self.stats.dead_blocks += 1
+        return cached
+
+    # -- transient read faults ------------------------------------------------
+
+    def read_fault_bits(self, block: int, frame: int) -> int:
+        """Extra raw bit errors this read observes on ``(block, frame)``."""
+        cfg = self.config
+        if cfg.read_disturb_rate <= 0.0:
+            return 0
+        key = (block, frame)
+        remaining = self._bursts.get(key, 0)
+        if remaining <= 0:
+            if self._read_rng.random() >= cfg.read_disturb_rate:
+                return 0
+            self.stats.read_disturbs += 1
+            remaining = cfg.read_disturb_span + 1
+        remaining -= 1
+        if remaining > 0:
+            self._bursts[key] = remaining
+        else:
+            self._bursts.pop(key, None)
+        self.stats.disturbed_reads += 1
+        # The burst decays: each successive (re-)sense of the frame sees a
+        # shrinking error count, so a retry ladder can ride it out.
+        decay = cfg.read_disturb_span + 1 - remaining
+        return max(1, cfg.read_disturb_bits >> (decay - 1))
+
+    # -- hard operation faults ------------------------------------------------
+
+    def program_fault(self, block: int, frame: int) -> bool:
+        if self.config.program_fail_rate <= 0.0:
+            return False
+        if self._program_rng.random() < self.config.program_fail_rate:
+            self.stats.program_faults += 1
+            return True
+        return False
+
+    def erase_fault(self, block: int) -> bool:
+        if self.config.erase_fail_rate <= 0.0:
+            return False
+        if self._erase_rng.random() < self.config.erase_fail_rate:
+            self.stats.erase_faults += 1
+            return True
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.config
+        return (f"FaultInjector(read_disturb={c.read_disturb_rate}, "
+                f"program={c.program_fail_rate}, erase={c.erase_fail_rate}, "
+                f"infant={c.infant_mortality_rate}, seed={c.seed})")

@@ -32,6 +32,7 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Dict, List, Optional
 
+from ..faults.injector import FaultInjector
 from .geometry import FlashGeometry, PageAddress, DEFAULT_GEOMETRY
 from .timing import (
     CellMode,
@@ -46,6 +47,8 @@ __all__ = [
     "FlashDeviceError",
     "ProgramError",
     "EraseError",
+    "ProgramFailure",
+    "EraseFailure",
     "PageState",
     "ReadResult",
     "ProgramResult",
@@ -70,6 +73,35 @@ class ProgramError(FlashDeviceError):
 
 class EraseError(FlashDeviceError):
     """Raised on invalid erase requests (e.g. bad block index)."""
+
+
+class ProgramFailure(FlashDeviceError):
+    """An otherwise-legal program operation reported a status failure.
+
+    Unlike :class:`ProgramError` (a protocol violation by the caller),
+    this models the NAND chip's own fail bit: the page frame is suspect
+    and the data must be placed elsewhere.  The attempt still costs the
+    full program latency, recorded in :attr:`latency_us`.
+    """
+
+    def __init__(self, address: PageAddress, latency_us: float):
+        super().__init__(f"program failed at {address}")
+        self.address = address
+        self.latency_us = latency_us
+
+
+class EraseFailure(FlashDeviceError):
+    """A legal erase operation reported a status failure.
+
+    Firmware convention (and the paper's block-retirement path) treats a
+    failed erase as terminal for the block.  The attempt still costs the
+    full erase latency, recorded in :attr:`latency_us`.
+    """
+
+    def __init__(self, block: int, latency_us: float):
+        super().__init__(f"erase failed on block {block}")
+        self.block = block
+        self.latency_us = latency_us
 
 
 class PageState:
@@ -167,6 +199,12 @@ class FlashDevice:
         per cell per read.  Table 1 specifies 10-20 year retention, so the
         default is zero; reliability studies can raise it to exercise the
         ECC path with soft errors that, unlike wear-out, do not persist.
+    fault_injector:
+        Optional :class:`~repro.faults.FaultInjector` consulted on every
+        operation.  Injected faults surface as extra raw bit errors on
+        reads, :class:`ProgramFailure`/:class:`EraseFailure` on writes and
+        erases, and all-bits-bad reads from infant-mortality blocks.
+        ``None`` (the default) changes nothing.
     """
 
     def __init__(
@@ -179,6 +217,7 @@ class FlashDevice:
         store_data: bool = False,
         seed: int = 0,
         soft_error_rate_per_bit: float = 0.0,
+        fault_injector: Optional[FaultInjector] = None,
     ):
         if soft_error_rate_per_bit < 0 or soft_error_rate_per_bit > 1:
             raise ValueError("soft_error_rate_per_bit must be in [0, 1]")
@@ -189,6 +228,7 @@ class FlashDevice:
         self.initial_mode = initial_mode
         self.store_data = store_data
         self.soft_error_rate_per_bit = soft_error_rate_per_bit
+        self.fault_injector = fault_injector
         self.stats = FlashStats()
         self._rng = Random(seed)
         self._erase_counts: List[int] = [0] * geometry.num_blocks
@@ -249,16 +289,30 @@ class FlashDevice:
         latency = self.timing.read_us(frame.mode)
         self.stats.reads += 1
         self.stats.record(latency, self.power.active_w, kind="read")
+        errors = self._raw_bit_errors(frame)
+        injector = self.fault_injector
+        if injector is not None:
+            if injector.block_dead(address.block):
+                self._kill_frame(frame)
+                errors = self.geometry.cells_per_frame
+            else:
+                errors += injector.read_fault_bits(address.block,
+                                                   address.frame)
         return ReadResult(
             latency_us=latency,
-            raw_bit_errors=self._raw_bit_errors(frame),
+            raw_bit_errors=errors,
             data=frame.data[address.subpage] if frame.data is not None else None,
             mode=frame.mode,
         )
 
     def program_page(self, address: PageAddress,
                      data: Optional[bytes] = None) -> ProgramResult:
-        """Program an erased page; raises :class:`ProgramError` otherwise."""
+        """Program an erased page; raises :class:`ProgramError` otherwise.
+
+        With a fault injector attached the operation can also raise
+        :class:`ProgramFailure` — the attempt burns the page (it needs an
+        erase before any retry) and costs the full program latency.
+        """
         frame = self._frame(address.block, address.frame)
         self.geometry.validate_address(address, frame.mode)
         if frame.states[address.subpage] != PageState.ERASED:
@@ -271,10 +325,21 @@ class FlashDevice:
                 f"payload of {len(data)} bytes exceeds page size "
                 f"{self.geometry.page_data_bytes}"
             )
+        latency = self.timing.write_us(frame.mode)
+        injector = self.fault_injector
+        if injector is not None and (
+                injector.block_dead(address.block)
+                or injector.program_fault(address.block, address.frame)):
+            # The failed attempt still occupies the plane for the full
+            # program time and leaves the page in an indeterminate
+            # (non-erased) state.
+            frame.states[address.subpage] = PageState.PROGRAMMED
+            self.stats.programs += 1
+            self.stats.record(latency, self.power.active_w, kind="program")
+            raise ProgramFailure(address, latency_us=latency)
         frame.states[address.subpage] = PageState.PROGRAMMED
         if frame.data is not None:
             frame.data[address.subpage] = data
-        latency = self.timing.write_us(frame.mode)
         self.stats.programs += 1
         self.stats.record(latency, self.power.active_w, kind="program")
         return ProgramResult(latency_us=latency, mode=frame.mode)
@@ -290,8 +355,22 @@ class FlashDevice:
         protocol in section 5.2 ("the updated page settings are applied on
         the next erase and write access").  Each frame absorbs one damage
         unit per erase cycle.
+
+        With a fault injector attached the operation can raise
+        :class:`EraseFailure`; the attempt costs the full erase latency
+        and leaves the block's contents untouched.
         """
         self._check_block(block)
+        injector = self.fault_injector
+        if injector is not None and (injector.block_dead(block)
+                                     or injector.erase_fault(block)):
+            latency = max(
+                self.timing.erase_us(self._frame(block, index).mode)
+                for index in range(self.geometry.frames_per_block)
+            )
+            self.stats.erases += 1
+            self.stats.record(latency, self.power.active_w, kind="erase")
+            raise EraseFailure(block, latency_us=latency)
         latencies = []
         for frame_index in range(self.geometry.frames_per_block):
             frame = self._frame(block, frame_index)
@@ -313,6 +392,11 @@ class FlashDevice:
                            erase_count=self._erase_counts[block])
 
     # -- wear/error injection ---------------------------------------------------
+
+    def _kill_frame(self, frame: _Frame) -> None:
+        """Mark a frame's wear sampler dead (infant-mortality block)."""
+        if self.lifetime_model is not None:
+            self._sampler(frame).kill()
 
     def _raw_bit_errors(self, frame: _Frame) -> int:
         errors = self._transient_errors()

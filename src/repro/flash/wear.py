@@ -216,8 +216,19 @@ class PageFailureSampler:
     model: CellLifetimeModel
     n_cells: int
     rng: Random
+    #: Set by :meth:`kill`: every cell reads as failed regardless of
+    #: damage (infant-mortality / congenitally dead hardware).
+    dead: bool = False
     _uniforms: List[float] = field(default_factory=list, repr=False)
     _thresholds: List[float] = field(default_factory=list, repr=False)
+
+    def kill(self) -> None:
+        """Declare the whole page dead: all cells fail at any damage.
+
+        Used by fault injection to model infant-mortality blocks, which
+        die long before the lognormal wear model would kill them.
+        """
+        self.dead = True
 
     def _extend(self) -> None:
         """Draw the next order statistic."""
@@ -243,6 +254,8 @@ class PageFailureSampler:
 
     def failed_cells(self, damage: float) -> int:
         """Number of dead cells once the page has absorbed ``damage``."""
+        if self.dead:
+            return self.n_cells
         if damage <= 0:
             return 0
         while (
@@ -260,6 +273,8 @@ class PageFailureSampler:
 
     def next_failure_damage(self, current_failures: int) -> float:
         """Damage level at which failure number ``current_failures + 1`` occurs."""
+        if self.dead:
+            return 0.0
         while len(self._thresholds) <= current_failures:
             if len(self._thresholds) >= self.n_cells:
                 return math.inf

@@ -14,8 +14,10 @@ from dataclasses import dataclass, field
 from typing import Iterable, Optional
 
 from ..core.cache import CacheStats
+from ..core.controller import ControllerStats
 from ..core.hierarchy import DramOnlySystem, FlashBackedSystem
 from ..dram.page_cache import PdcStats
+from ..faults.injector import FaultStats
 from ..power.models import PowerBreakdown, system_power_breakdown
 from ..workloads.trace import TraceRecord
 
@@ -37,6 +39,14 @@ class SimulationReport:
     flash: Optional[CacheStats] = None
     disk_reads: int = 0
     disk_writes: int = 0
+    # -- degradation metrics (present only for Flash-backed systems) ---------
+    controller: Optional[ControllerStats] = None
+    faults: Optional[FaultStats] = None
+    #: Fraction of the Flash cache's original page capacity still serving.
+    flash_live_capacity: float = 1.0
+    #: True when the cache fell below its minimum-blocks floor and the
+    #: hierarchy finished the trace on the DRAM+disk bypass.
+    flash_degraded: bool = False
 
     @property
     def flash_miss_rate(self) -> float:
@@ -61,10 +71,22 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
     disk-traffic accounting cover the whole data lifecycle.
     """
     system.run(records)
-    if drain and isinstance(system, FlashBackedSystem):
-        system.drain()
-    flash_stats = (system.flash.stats
-                   if isinstance(system, FlashBackedSystem) else None)
+    flash_stats = None
+    controller_stats = None
+    fault_stats = None
+    live_capacity = 1.0
+    degraded = False
+    if isinstance(system, FlashBackedSystem):
+        if drain:
+            system.drain()
+        flash = system.flash
+        flash_stats = flash.stats
+        controller_stats = flash.controller.stats
+        injector = flash.controller.device.fault_injector
+        if injector is not None:
+            fault_stats = injector.stats
+        live_capacity = flash.live_capacity_fraction()
+        degraded = flash.degraded
     return SimulationReport(
         requests=system.stats.requests,
         reads=system.stats.reads,
@@ -77,4 +99,8 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
         flash=flash_stats,
         disk_reads=system.disk.reads,
         disk_writes=system.disk.writes,
+        controller=controller_stats,
+        faults=fault_stats,
+        flash_live_capacity=live_capacity,
+        flash_degraded=degraded,
     )
