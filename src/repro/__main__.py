@@ -7,11 +7,18 @@ Commands
 ``fig1b`` .. ``fig12``     print one figure's rows (same output as the
                            ``repro.experiments.*`` module mains)
 ``faults``                 fault-injection / graceful-degradation sweep
+                           (``--telemetry-out`` dumps the degradation
+                           timeline as JSON)
 ``report``                 run the whole evaluation, print markdown
 ``profile <trace.spc>``    characterise a (UMass SPC) disk trace
 ``run <trace.spc>``        replay a trace through the Flash hierarchy,
                            optionally with injected faults
-                           (``--fault-rate`` / ``--fault-seed``)
+                           (``--fault-rate`` / ``--fault-seed``) and/or
+                           a telemetry JSON dump (``--telemetry-out``)
+``stats <trace.spc>``      replay with full telemetry: latency
+                           percentiles, counters, and time-series, with
+                           optional JSON (``--json``) / CSV (``--csv``)
+                           exports
 """
 
 from __future__ import annotations
@@ -56,7 +63,12 @@ def _build_parser() -> argparse.ArgumentParser:
 
     sub.add_parser("experiments", help="list figure runners")
     for name in _FIGURES:
-        sub.add_parser(name, help=f"regenerate {name}")
+        figure = sub.add_parser(name, help=f"regenerate {name}")
+        if name == "faults":
+            figure.add_argument(
+                "--telemetry-out", default=None, metavar="PATH",
+                help="write the degradation-timeline telemetry (time-"
+                     "series + histograms) as JSON")
 
     report = sub.add_parser("report", help="run the full evaluation")
     report.add_argument("--scale", choices=("quick", "default", "full"),
@@ -84,6 +96,35 @@ def _build_parser() -> argparse.ArgumentParser:
                           "rates)")
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed of the fault injector's RNG streams")
+    run.add_argument("--telemetry-out", default=None, metavar="PATH",
+                     help="enable telemetry and write the JSON metrics "
+                          "report (histograms + time-series) here")
+    run.add_argument("--telemetry-interval", type=int, default=1000,
+                     help="requests between time-series samples "
+                          "(default 1000)")
+
+    stats = sub.add_parser(
+        "stats", help="replay an SPC trace with full telemetry and "
+                      "print latency percentiles, counters, and "
+                      "time-series")
+    stats.add_argument("path")
+    stats.add_argument("--limit", type=int, default=None,
+                       help="replay at most N records")
+    stats.add_argument("--dram-mb", type=int, default=64,
+                       help="DRAM size in MB (default 64)")
+    stats.add_argument("--flash-mb", type=int, default=256,
+                       help="Flash size in MB (default 256)")
+    stats.add_argument("--fault-rate", type=float, default=0.0,
+                       help="uniform fault-injection rate (0 disables)")
+    stats.add_argument("--fault-seed", type=int, default=0,
+                       help="seed of the fault injector's RNG streams")
+    stats.add_argument("--interval", type=int, default=1000,
+                       help="requests between time-series samples "
+                            "(default 1000)")
+    stats.add_argument("--json", default=None, metavar="PATH",
+                       help="write the telemetry report as JSON")
+    stats.add_argument("--csv", default=None, metavar="PATH",
+                       help="write time-series + histogram buckets as CSV")
     return parser
 
 
@@ -93,6 +134,9 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "experiments":
         for name in _FIGURES:
             print(name)
+        return 0
+    if args.command == "faults":
+        fault_degradation.main(telemetry_out=args.telemetry_out)
         return 0
     if args.command in _FIGURES:
         _FIGURES[args.command]()
@@ -109,13 +153,14 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "run":
         return _run_trace_command(args)
+    if args.command == "stats":
+        return _stats_command(args)
     return 1
 
 
-def _run_trace_command(args: argparse.Namespace) -> int:
+def _build_system_and_records(args: argparse.Namespace):
     from .core.hierarchy import build_flash_system
     from .faults.injector import FaultConfig
-    from .sim.engine import run_trace
 
     fault_config = None
     if args.fault_rate > 0.0:
@@ -127,7 +172,27 @@ def _run_trace_command(args: argparse.Namespace) -> int:
         fault_config=fault_config,
     )
     records = records_from_spc_file(args.path, limit=args.limit)
-    report = run_trace(system, records)
+    return system, records, fault_config
+
+
+def _print_latency_percentiles(report) -> None:
+    print(f"read latency us: p50={report.read_latency_p50:.1f} "
+          f"p95={report.read_latency_p95:.1f} "
+          f"p99={report.read_latency_p99:.1f}")
+    print(f"write latency us: p50={report.write_latency_p50:.1f} "
+          f"p95={report.write_latency_p95:.1f} "
+          f"p99={report.write_latency_p99:.1f}")
+
+
+def _run_trace_command(args: argparse.Namespace) -> int:
+    from .sim.engine import run_trace
+    from .telemetry import Telemetry
+
+    system, records, fault_config = _build_system_and_records(args)
+    telemetry = None
+    if args.telemetry_out is not None:
+        telemetry = Telemetry(sample_interval=args.telemetry_interval)
+    report = run_trace(system, records, telemetry=telemetry)
     print(f"requests:        {report.requests}")
     print(f"avg latency:     {report.average_latency_us:.1f} us")
     print(f"throughput:      {report.throughput_rps:.0f} req/s")
@@ -145,6 +210,54 @@ def _run_trace_command(args: argparse.Namespace) -> int:
         print(f"retired blocks:  {flash.retired_blocks}")
         print(f"live capacity:   {report.flash_live_capacity:.3f}")
         print(f"degraded:        {report.flash_degraded}")
+    if telemetry is not None:
+        from .telemetry.export import write_json
+
+        _print_latency_percentiles(report)
+        write_json(telemetry, args.telemetry_out)
+        print(f"telemetry JSON:  {args.telemetry_out}")
+    return 0
+
+
+def _stats_command(args: argparse.Namespace) -> int:
+    from .sim.engine import run_trace
+    from .telemetry import Telemetry
+    from .telemetry.export import write_csv, write_json
+
+    system, records, _ = _build_system_and_records(args)
+    telemetry = Telemetry(sample_interval=args.interval)
+    report = run_trace(system, records, telemetry=telemetry)
+
+    print(f"requests:        {report.requests} "
+          f"({report.reads} reads, {report.writes} writes)")
+    print(f"avg latency:     {report.average_latency_us:.1f} us")
+    print(f"flash miss rate: {report.flash_miss_rate:.3%}")
+    _print_latency_percentiles(report)
+    print()
+    print("histograms")
+    for name, hist in sorted(telemetry.metrics.histograms.items()):
+        if hist.count == 0:
+            continue
+        digest = hist.summary()
+        print(f"  {name:<28} n={digest['count']:<8} "
+              f"mean={digest['mean']:9.1f} p50={digest['p50']:9.1f} "
+              f"p95={digest['p95']:9.1f} p99={digest['p99']:9.1f} "
+              f"max={digest['max']:9.1f}")
+    print()
+    print("counters")
+    for name, counter in sorted(telemetry.metrics.counters.items()):
+        if counter.value:
+            print(f"  {name:<28} {counter.value}")
+    print()
+    print("time-series (last sample)")
+    for name, series in sorted(telemetry.timeseries.items()):
+        print(f"  {name:<28} points={len(series):<5} last={series.last}")
+    if args.json is not None:
+        write_json(telemetry, args.json)
+        print(f"\ntelemetry JSON written to {args.json}")
+    if args.csv is not None:
+        write_csv(telemetry, args.csv)
+        print(f"telemetry CSV written to {args.csv}")
     return 0
 
 

@@ -241,6 +241,9 @@ class FlashDiskCache:
         self.config = config or FlashCacheConfig()
         self.fcht = FlashCacheHashTable(buckets=self.config.fcht_buckets)
         self.stats = CacheStats()
+        #: Optional :class:`repro.telemetry.Telemetry` handle; ``None``
+        #: (default) leaves the lookup/GC paths un-instrumented.
+        self.telemetry = None
         self._location: Dict[int, Region] = {}  # lba -> owning log
         self._dirty: Set[int] = set()           # lbas not yet on disk
         #: Dirty lbas whose Flash home died; they leave via the next flush.
@@ -351,9 +354,15 @@ class FlashDiskCache:
         disk.  In the degraded (DRAM+disk bypass) state every read is an
         immediate miss.
         """
+        # Hit/miss/write hooks fire only for event subscribers; their
+        # counters mirror CacheStats and are harvested at end of run
+        # (Telemetry.harvest_cache_counters), keeping this path cheap.
+        telemetry = self.telemetry
         if self.degraded:
             self.stats.bypass_reads += 1
             self.stats.read_misses += 1
+            if telemetry is not None and telemetry.bus.active:
+                telemetry.cache_miss()
             return None
         self._accrue_gc_credit()
         address = self.fcht.lookup(lba)
@@ -362,6 +371,8 @@ class FlashDiskCache:
             self.stats.read_misses += 1
             self.controller.fgst.record_miss(4200.0)
             self.stats.foreground_time_us += lookup_us
+            if telemetry is not None and telemetry.bus.active:
+                telemetry.cache_miss()
             return None
 
         result = self.controller.read(address)
@@ -382,10 +393,14 @@ class FlashDiskCache:
                 self.stats.recovered_faults += 1
             self.stats.read_misses += 1
             self.controller.fgst.record_miss(4200.0)
+            if telemetry is not None and telemetry.bus.active:
+                telemetry.cache_miss()
             return FlashReadOutcome(latency_us=latency, recovered=False)
 
         self.stats.read_hits += 1
         self.controller.fgst.record_hit(result.latency_us)
+        if telemetry is not None and telemetry.bus.active:
+            telemetry.cache_hit(latency)
         self._touch_block(address.block)
         if result.hot_promotion and self.config.hot_promotion:
             self._promote_to_slc(lba, address)
@@ -440,6 +455,9 @@ class FlashDiskCache:
         disk via ``flushed_lbas``.
         """
         self.stats.writes += 1
+        telemetry = self.telemetry
+        if telemetry is not None and telemetry.bus.active:
+            telemetry.cache_write()
         if self.degraded:
             self.stats.bypass_writes += 1
             self._orphan_dirty.discard(lba)
@@ -644,6 +662,8 @@ class FlashDiskCache:
             return
         self.degraded = True
         self.stats.degraded_events += 1
+        if self.telemetry is not None:
+            self.telemetry.degrade()
         self._orphan_dirty.update(self._dirty)
         self._dirty.clear()
         self.fcht = FlashCacheHashTable(buckets=self.config.fcht_buckets)
@@ -761,6 +781,7 @@ class FlashDiskCache:
         if allowance is not None:
             self._gc_credit -= len(region.valid.get(victim, set()))
         self.stats.gc_runs += 1
+        moves_before = self.stats.gc_page_moves
         elapsed = 0.0
         for address in sorted(region.valid.get(victim, set()),
                               key=lambda a: (a.frame, a.subpage)):
@@ -832,6 +853,9 @@ class FlashDiskCache:
                 region.lru.move_to_end(reserve)
                 region.invalid[reserve] += len(remaining)
         self.stats.gc_time_us += elapsed
+        if self.telemetry is not None:
+            self.telemetry.gc(elapsed,
+                              self.stats.gc_page_moves - moves_before)
         return True
 
     def _most_invalid_block(self, region: _RegionState,

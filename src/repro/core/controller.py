@@ -173,6 +173,9 @@ class ProgrammableFlashController:
         self.fbst = FlashBlockStatusTable(device.geometry.num_blocks)
         self.fgst = fgst or FlashGlobalStatus()
         self.stats = ControllerStats()
+        #: Optional :class:`repro.telemetry.Telemetry` handle; ``None``
+        #: (default) keeps the mediated operations un-instrumented.
+        self.telemetry = None
         #: Optional externally measured miss-rate increase per lost cache
         #: page (the paper's runtime-measured "delta miss").  When None, a
         #: uniform-popularity estimate is derived from the FGST.
@@ -184,6 +187,10 @@ class ProgrammableFlashController:
         self._pending_modes: Dict[tuple[int, int], CellMode] = {}
         # Frames with program-status failures: permanently out of service.
         self._bad_frames: Set[tuple[int, int]] = set()
+        # Per-block page-capacity memo; capacity only moves when a frame
+        # goes bad or an erase applies a pended density change, so those
+        # paths invalidate and everyone else reads the memo.
+        self._block_capacity: Dict[int, int] = {}
         self._program_fail_counts: Dict[int, int] = {}
         self._decode_cache: Dict[int, float] = {}
         self._encode_cache: Dict[int, float] = {}
@@ -251,6 +258,9 @@ class ProgrammableFlashController:
             and entry.mode is CellMode.MLC
         if hot:
             self.stats.hot_promotions += 1
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.flash_read(latency, retries, recovered)
         return ControllerReadResult(
             latency_us=latency,
             corrected_errors=min(errors, entry.ecc_strength),
@@ -281,7 +291,11 @@ class ProgrammableFlashController:
         entry.lba = lba
         entry.access_count = 0
         self.stats.programs += 1
-        return result.latency_us + self._encode_us(entry.ecc_strength)
+        latency = result.latency_us + self._encode_us(entry.ecc_strength)
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.flash_program(latency)
+        return latency
 
     def _note_program_failure(self, address: PageAddress) -> None:
         """Pull a failing frame out of service; retire the block after K."""
@@ -289,6 +303,7 @@ class ProgrammableFlashController:
         key = (address.block, address.frame)
         if key not in self._bad_frames:
             self._bad_frames.add(key)
+            self._block_capacity.pop(address.block, None)
             self.stats.frames_marked_bad += 1
             # The frame's pages leave the address space.  Only *invalid*
             # entries drop immediately: valid ones keep their LBA
@@ -318,6 +333,9 @@ class ProgrammableFlashController:
             for (blk, frame), mode in list(self._pending_modes.items())
             if blk == block
         }
+        if new_modes:
+            # The applied density switch changes the block's page count.
+            self._block_capacity.pop(block, None)
         # Capture the *pre-erase* page layout: an MLC->SLC switch halves
         # the address space and the vanished subpage-1 entries must drop.
         stale_pages = self.pages_of_block(block)
@@ -394,6 +412,8 @@ class ProgrammableFlashController:
         else:
             self._pend_density_change(address)
             self.stats.density_reconfigs += 1
+        if self.telemetry is not None:
+            self.telemetry.reconfig(choice.value)
         return choice
 
     def choose_repair(self, entry) -> ReconfigKind:
@@ -449,7 +469,10 @@ class ProgrammableFlashController:
         entry = self.fbst.entry(block)
         if not entry.retired:
             entry.retired = True
+            self._block_capacity.pop(block, None)
             self.stats.blocks_retired += 1
+            if self.telemetry is not None:
+                self.telemetry.retire(block)
             if self.retire_listener is not None:
                 self.retire_listener(block)
 
@@ -467,24 +490,31 @@ class ProgrammableFlashController:
         """
         geometry = self.device.geometry
         pages: List[PageAddress] = []
-        for frame in range(geometry.frames_per_block):
+        for frame, mode in enumerate(self.device.block_frame_modes(block)):
             if (block, frame) in self._bad_frames:
                 continue
-            mode = self.device.frame_mode(block, frame)
             for subpage in range(geometry.pages_per_frame(mode)):
                 pages.append(PageAddress(block, frame, subpage))
         return pages
 
     def block_capacity_pages(self, block: int) -> int:
         """Logical pages the block offers, net of bad frames."""
+        cached = self._block_capacity.get(block)
+        if cached is not None:
+            return cached
+        modes = self.device.block_frame_modes(block)
+        if self._bad_frames:
+            modes = [mode for frame, mode in enumerate(modes)
+                     if (block, frame) not in self._bad_frames]
+        # Two modes exist; counting one of them prices the whole block
+        # with two pages_per_frame lookups instead of one per frame.
         geometry = self.device.geometry
-        total = 0
-        for frame in range(geometry.frames_per_block):
-            if (block, frame) in self._bad_frames:
-                continue
-            total += geometry.pages_per_frame(
-                self.device.frame_mode(block, frame))
-        return total
+        slc = modes.count(CellMode.SLC)
+        capacity = (slc * geometry.pages_per_frame(CellMode.SLC)
+                    + (len(modes) - slc)
+                    * geometry.pages_per_frame(CellMode.MLC))
+        self._block_capacity[block] = capacity
+        return capacity
 
     def is_bad_frame(self, block: int, frame: int) -> bool:
         return (block, frame) in self._bad_frames

@@ -111,6 +111,9 @@ class _SystemBase:
         self.disk = DiskModel()
         self.stats = RequestStats()
         self.background_us = 0.0
+        #: Optional :class:`repro.telemetry.Telemetry` handle observing
+        #: the request path; ``None`` (default) adds nothing.
+        self.telemetry = None
         self._writeback_queue: list[int] = []
         self._requests_since_flush = 0
 
@@ -132,6 +135,9 @@ class _SystemBase:
                 if eviction.dirty:
                     self._write_back(eviction.page)
         self.stats.total_latency_us += latency
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.request_read(latency, hit)
         self._tick_flush()
         return latency
 
@@ -139,11 +145,14 @@ class _SystemBase:
         """Service one page write (into the PDC, write-back)."""
         self.stats.writes += 1
         latency = self.dram.write(self.config.page_bytes)
-        _, evictions = self.pdc.write(page)
+        hit, evictions = self.pdc.write(page)
         for eviction in evictions:
             if eviction.dirty:
                 self._write_back(eviction.page)
         self.stats.total_latency_us += latency
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.request_write(latency, hit)
         self._tick_flush()
         return latency
 

@@ -47,16 +47,24 @@ class DiskModel:
     reads: int = 0
     writes: int = 0
     busy_us: float = 0.0
+    #: Optional :class:`repro.telemetry.Telemetry` handle; ``None``
+    #: (default) keeps accesses un-instrumented.  Excluded from equality
+    #: so instrumented and bare models still compare by behaviour.
+    telemetry: object | None = field(default=None, repr=False, compare=False)
 
     def read(self, num_pages: int = 1) -> float:
         """One read request of ``num_pages`` contiguous pages."""
         latency = self._access(num_pages)
         self.reads += 1
+        if self.telemetry is not None:
+            self.telemetry.disk_read(latency)
         return latency
 
     def write(self, num_pages: int = 1) -> float:
         latency = self._access(num_pages)
         self.writes += 1
+        if self.telemetry is not None:
+            self.telemetry.disk_write(latency)
         return latency
 
     def _access(self, num_pages: int) -> float:

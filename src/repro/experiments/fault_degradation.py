@@ -27,17 +27,19 @@ retired blocks) with and without the retry ladder.
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence, Tuple
 
 from ..core.controller import ControllerConfig
 from ..core.hierarchy import build_flash_system
 from ..faults.injector import FaultConfig
 from ..sim.engine import SimulationReport, run_trace
+from ..telemetry import Telemetry
 from ..workloads.macro import build_workload
 
 __all__ = [
     "FaultDegradationPoint",
     "run_fault_sweep",
+    "run_fault_timeline",
     "DEFAULT_FAULT_RATES",
 ]
 
@@ -72,7 +74,8 @@ class FaultDegradationPoint:
 
 def _run_one(rate: float, read_retry_max: int, *, dram_bytes: int,
              flash_bytes: int, num_records: int, footprint_pages: int,
-             seed: int) -> SimulationReport:
+             seed: int,
+             telemetry: Optional[Telemetry] = None) -> SimulationReport:
     fault_config = (FaultConfig.uniform(rate, seed=seed)
                     if rate > 0.0 else None)
     system = build_flash_system(
@@ -84,7 +87,7 @@ def _run_one(rate: float, read_retry_max: int, *, dram_bytes: int,
     )
     trace = build_workload("dbt2", num_records=num_records,
                            footprint_pages=footprint_pages, seed=seed)
-    return run_trace(system, trace)
+    return run_trace(system, trace, telemetry=telemetry)
 
 
 def run_fault_sweep(
@@ -130,7 +133,34 @@ def run_fault_sweep(
     return points
 
 
-def main() -> None:
+def run_fault_timeline(
+    fault_rate: float = 0.08,
+    read_retry_max: int = 2,
+    dram_bytes: int = 2 << 20,
+    flash_bytes: int = 8 << 20,
+    num_records: int = 6000,
+    footprint_pages: int = 8192,
+    seed: int = 3,
+    sample_interval: int = 500,
+) -> Tuple[SimulationReport, Telemetry]:
+    """One instrumented faulted run: how degradation *unfolds*.
+
+    Returns the report plus the :class:`Telemetry` handle whose
+    time-series show live capacity draining, miss rate climbing, and
+    retirements accumulating over trace position — the watch-it-happen
+    view the end-of-run sweep table cannot give.  Telemetry never
+    perturbs the simulation, so the report matches an un-instrumented
+    run with the same arguments exactly.
+    """
+    telemetry = Telemetry(sample_interval=sample_interval)
+    report = _run_one(
+        fault_rate, read_retry_max, dram_bytes=dram_bytes,
+        flash_bytes=flash_bytes, num_records=num_records,
+        footprint_pages=footprint_pages, seed=seed, telemetry=telemetry)
+    return report, telemetry
+
+
+def main(telemetry_out: Optional[str] = None) -> None:
     print("Fault injection and graceful degradation "
           "(dbt2 disk cache, uniform fault sweep)")
     print(f"{'rate':>6} {'retry':>5} {'miss':>8} {'live':>7} {'degr':>5} "
@@ -143,6 +173,30 @@ def main() -> None:
               f"{point.unrecovered_faults:>5} {point.remapped_programs:>6} "
               f"{point.retired_blocks:>7} {point.uncorrectable_reads:>7} "
               f"{point.retry_recovered_reads:>7}")
+
+    report, telemetry = run_fault_timeline()
+    print()
+    print("Degradation timeline (rate=0.080, retry=2): "
+          "live capacity and miss rate over trace position")
+    print(f"{'position':>9} {'live':>7} {'miss':>8} {'retired':>7} "
+          f"{'uncorr':>7}")
+    capacity = telemetry.timeseries["live_capacity"]
+    miss = telemetry.timeseries["flash_miss_rate"]
+    retired = telemetry.timeseries["retired_blocks"]
+    uncorrectable = telemetry.timeseries["uncorrectable_reads"]
+    for index, position in enumerate(capacity.xs):
+        print(f"{int(position):>9} {capacity.ys[index]:7.3f} "
+              f"{miss.ys[index]:8.3%} {int(retired.ys[index]):>7} "
+              f"{int(uncorrectable.ys[index]):>7}")
+    if report.read_latency_p99 is not None:
+        print(f"read latency p50/p95/p99 us: "
+              f"{report.read_latency_p50:.1f} / "
+              f"{report.read_latency_p95:.1f} / "
+              f"{report.read_latency_p99:.1f}")
+    if telemetry_out is not None:
+        from ..telemetry.export import write_json
+        write_json(telemetry, telemetry_out)
+        print(f"telemetry JSON written to {telemetry_out}")
 
 
 if __name__ == "__main__":

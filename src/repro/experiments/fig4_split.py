@@ -12,19 +12,20 @@ benchmarks for its simulator, section 6.1).
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Sequence
+from typing import List, Optional, Sequence
 
 from ..core.cache import FlashCacheConfig, FlashDiskCache
 from ..core.controller import ProgrammableFlashController
 from ..flash.device import FlashDevice
 from ..flash.geometry import FlashGeometry
 from ..flash.timing import CellMode
+from ..telemetry import Telemetry
 from ..workloads.macro import build_workload
 from ..workloads.postpdc import derive_disk_trace
 from ..workloads.trace import PAGE_BYTES, TraceRecord
 
 __all__ = ["SplitMissPoint", "replay_disk_trace", "run_split_sweep",
-           "PAPER_FLASH_SIZES_MB", "SCALE_DIVISOR"]
+           "run_split_timeline", "PAPER_FLASH_SIZES_MB", "SCALE_DIVISOR"]
 
 #: The x axis of Figure 4.
 PAPER_FLASH_SIZES_MB = (128, 256, 384, 512, 640)
@@ -48,7 +49,9 @@ class SplitMissPoint:
 
 def replay_disk_trace(cache: FlashDiskCache,
                       records: Sequence[TraceRecord],
-                      flush_interval: int = 10_000) -> None:
+                      flush_interval: int = 10_000,
+                      telemetry: Optional[Telemetry] = None,
+                      series_prefix: str = "") -> None:
     """Feed a disk-level trace straight into the Flash disk cache.
 
     Figure 4 measures the Flash cache in isolation (the trace is what
@@ -57,7 +60,18 @@ def replay_disk_trace(cache: FlashDiskCache,
     records the dirty pages flush to disk (section 5.1: "The disk is
     eventually updated by flushing the write disk cache"), which keeps
     write-cache evictions cheap the way the OS's periodic write-back does.
+
+    With a ``telemetry`` handle the cache stack is instrumented and the
+    cumulative miss rate and used-capacity fraction are sampled into the
+    ``{series_prefix}miss_rate`` / ``{series_prefix}used_fraction``
+    time-series every ``telemetry.sample_interval`` accesses — the
+    warm-up curve behind the Figure 4 endpoints.
     """
+    if telemetry is not None:
+        telemetry.attach_cache(cache)
+        next_sample = telemetry.sample_interval
+        miss_series = telemetry.series(f"{series_prefix}miss_rate")
+        used_series = telemetry.series(f"{series_prefix}used_fraction")
     count = 0
     for record in records:
         for page in record.expand():
@@ -70,6 +84,12 @@ def replay_disk_trace(cache: FlashDiskCache,
             count += 1
             if flush_interval and count % flush_interval == 0:
                 cache.flush()
+            if telemetry is not None and count >= next_sample:
+                miss_series.append(count, cache.stats.miss_rate)
+                used_series.append(count, cache.used_fraction())
+                next_sample += telemetry.sample_interval
+    if telemetry is not None:
+        telemetry.harvest_cache_counters(cache)
 
 
 def _build_cache(flash_bytes: int, split: bool,
@@ -128,6 +148,35 @@ def run_split_sweep(
     return points
 
 
+def run_split_timeline(
+    flash_mb: int = 256,
+    scale_divisor: int = SCALE_DIVISOR,
+    num_records: int = 120_000,
+    seed: int = 11,
+    sample_interval: int = 10_000,
+) -> Telemetry:
+    """Miss-rate-over-trace-position view of the Figure 4 story.
+
+    Replays the same disk trace against a unified and a split cache of
+    one size, sampling the cumulative miss rate as the caches warm and
+    the unified organisation's invalid holes accumulate.  Series:
+    ``unified_miss_rate``, ``split_miss_rate`` (plus the matching
+    ``*_used_fraction``).
+    """
+    footprint_pages = (2 << 30) // scale_divisor // PAGE_BYTES
+    raw = build_workload("dbt2", num_records=num_records, seed=seed,
+                         footprint_pages=footprint_pages)
+    pdc_pages = (256 << 20) // scale_divisor // PAGE_BYTES
+    records = derive_disk_trace(raw, pdc_pages)
+    flash_bytes = flash_mb * (1 << 20) // scale_divisor
+    telemetry = Telemetry(sample_interval=sample_interval)
+    for split, prefix in ((False, "unified_"), (True, "split_")):
+        cache = _build_cache(flash_bytes, split)
+        replay_disk_trace(cache, records, telemetry=telemetry,
+                          series_prefix=prefix)
+    return telemetry
+
+
 def main() -> None:
     print("Figure 4: dbt2 Flash miss rate, unified vs split")
     print(f"{'flash':>8} {'unified':>9} {'split':>9} {'delta':>8}")
@@ -135,6 +184,15 @@ def main() -> None:
         print(f"{point.flash_mb_paper_scale:>6}MB "
               f"{point.unified_miss_rate:9.3%} {point.split_miss_rate:9.3%} "
               f"{point.improvement:8.3%}")
+    telemetry = run_split_timeline()
+    unified = telemetry.timeseries["unified_miss_rate"]
+    split = telemetry.timeseries["split_miss_rate"]
+    print()
+    print("Warm-up timeline (256MB paper scale): cumulative miss rate")
+    print(f"{'position':>9} {'unified':>9} {'split':>9}")
+    for index, position in enumerate(unified.xs):
+        print(f"{int(position):>9} {unified.ys[index]:9.3%} "
+              f"{split.ys[index]:9.3%}")
 
 
 if __name__ == "__main__":

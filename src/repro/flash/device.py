@@ -230,6 +230,10 @@ class FlashDevice:
         self.soft_error_rate_per_bit = soft_error_rate_per_bit
         self.fault_injector = fault_injector
         self.stats = FlashStats()
+        #: Optional :class:`repro.telemetry.Telemetry` handle.  ``None``
+        #: (the default) keeps every operation on the historical code
+        #: path; attaching costs one attribute check per operation.
+        self.telemetry = None
         self._rng = Random(seed)
         self._erase_counts: List[int] = [0] * geometry.num_blocks
         # Frames are created lazily: large devices in metadata-only runs
@@ -266,14 +270,35 @@ class FlashDevice:
         return frame.sampler
 
     def frame_mode(self, block: int, frame: int) -> CellMode:
-        return self._frame(block, frame).mode
+        # Pure query: a frame no operation touched can only be in the
+        # initial mode (mode changes happen during erase, which
+        # materialises the frame), so don't materialise it here.
+        existing = self._frames.get((block, frame))
+        return existing.mode if existing is not None else self.initial_mode
+
+    def block_frame_modes(self, block: int) -> List[CellMode]:
+        """Modes of every frame in ``block``, in frame order.
+
+        Bulk form of :meth:`frame_mode` for the capacity queries that
+        walk whole blocks; like it, never materialises frames.
+        """
+        get = self._frames.get
+        initial = self.initial_mode
+        return [
+            frame.mode if (frame := get((block, index))) is not None
+            else initial
+            for index in range(self.geometry.frames_per_block)
+        ]
 
     def erase_count(self, block: int) -> int:
         self._check_block(block)
         return self._erase_counts[block]
 
     def frame_damage(self, block: int, frame: int) -> float:
-        return self._frame(block, frame).damage
+        # Pure query, same reasoning as frame_mode: untouched frames
+        # carry zero damage by construction.
+        existing = self._frames.get((block, frame))
+        return existing.damage if existing is not None else 0.0
 
     def page_state(self, address: PageAddress) -> int:
         frame = self._frame(address.block, address.frame)
@@ -289,6 +314,8 @@ class FlashDevice:
         latency = self.timing.read_us(frame.mode)
         self.stats.reads += 1
         self.stats.record(latency, self.power.active_w, kind="read")
+        # No telemetry hook here: nand.reads is harvested from
+        # DeviceStats at end of run (Telemetry.harvest_cache_counters).
         errors = self._raw_bit_errors(frame)
         injector = self.fault_injector
         if injector is not None:
@@ -336,12 +363,17 @@ class FlashDevice:
             frame.states[address.subpage] = PageState.PROGRAMMED
             self.stats.programs += 1
             self.stats.record(latency, self.power.active_w, kind="program")
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.nand_fault("program")
             raise ProgramFailure(address, latency_us=latency)
         frame.states[address.subpage] = PageState.PROGRAMMED
         if frame.data is not None:
             frame.data[address.subpage] = data
         self.stats.programs += 1
         self.stats.record(latency, self.power.active_w, kind="program")
+        # No telemetry hook here: nand.* counters are harvested from
+        # DeviceStats at end of run (Telemetry.harvest_cache_counters).
         return ProgramResult(latency_us=latency, mode=frame.mode)
 
     def erase_block(
@@ -370,6 +402,10 @@ class FlashDevice:
             )
             self.stats.erases += 1
             self.stats.record(latency, self.power.active_w, kind="erase")
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.nand_erase(latency)
+                telemetry.nand_fault("erase")
             raise EraseFailure(block, latency_us=latency)
         latencies = []
         for frame_index in range(self.geometry.frames_per_block):
@@ -388,6 +424,9 @@ class FlashDevice:
         self._erase_counts[block] += 1
         self.stats.erases += 1
         self.stats.record(latency, self.power.active_w, kind="erase")
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.nand_erase(latency)
         return EraseResult(latency_us=latency,
                            erase_count=self._erase_counts[block])
 
@@ -464,6 +503,26 @@ class FlashDevice:
         """Effective-damage multiplier of the frame's current mode."""
         mode = self._frame(block, frame).mode
         return MLC_READ_SENSITIVITY if mode is CellMode.MLC else 1.0
+
+    def wear_summary(self) -> tuple[float, float]:
+        """(max, average) frame damage across the whole array.
+
+        Only materialised frames are scanned — lazily created frames no
+        workload touched carry zero damage by construction — but the
+        average divides by the *full* frame population so sparsely used
+        devices report their true array-wide wear.
+        """
+        population = self.geometry.num_blocks * self.geometry.frames_per_block
+        if population == 0:
+            return 0.0, 0.0
+        worst = 0.0
+        total = 0.0
+        for frame in self._frames.values():
+            damage = frame.damage
+            total += damage
+            if damage > worst:
+                worst = damage
+        return worst, total / population
 
     # -- capacity ----------------------------------------------------------------
 

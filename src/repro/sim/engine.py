@@ -6,12 +6,19 @@ reliability and miss-rate studies.  :func:`run_trace` is our equivalent of
 the latter wired to the full hierarchy: it streams a trace through a
 system, drains dirty state at the end, and returns a single report object
 with every metric the evaluation figures consume.
+
+Observability: pass a :class:`~repro.telemetry.Telemetry` handle to get
+latency histograms (p50/p95/p99 read and write latency in the report) and
+windowed time-series (miss rate, live capacity, wear, retries per N
+requests).  With no handle — the default — the run takes the exact
+historical code path and its results are bit-identical to pre-telemetry
+behaviour.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Iterable, Optional
+from typing import Dict, Iterable, Optional
 
 from ..core.cache import CacheStats
 from ..core.controller import ControllerStats
@@ -19,9 +26,16 @@ from ..core.hierarchy import DramOnlySystem, FlashBackedSystem
 from ..dram.page_cache import PdcStats
 from ..faults.injector import FaultStats
 from ..power.models import PowerBreakdown, system_power_breakdown
+from ..telemetry import LatencyHistogram, Telemetry, TraceSampler
+from ..telemetry.timeseries import TimeSeries
 from ..workloads.trace import TraceRecord
+from .server import ServerModel
 
 __all__ = ["SimulationReport", "run_trace"]
+
+#: Response payload assumed when no :class:`ServerModel` is supplied;
+#: matches the model's own default.
+_DEFAULT_RESPONSE_BYTES = ServerModel.response_bytes
 
 
 @dataclass
@@ -47,6 +61,18 @@ class SimulationReport:
     #: True when the cache fell below its minimum-blocks floor and the
     #: hierarchy finished the trace on the DRAM+disk bypass.
     flash_degraded: bool = False
+    #: Bytes served per request by the fronting server (threaded from
+    #: :attr:`ServerModel.response_bytes`; the network-bandwidth proxy
+    #: below scales with it).
+    response_bytes: int = _DEFAULT_RESPONSE_BYTES
+    # -- telemetry (present only when a Telemetry handle ran the trace) ------
+    #: Foreground read-request latency distribution.
+    read_latency: Optional[LatencyHistogram] = None
+    #: Foreground write-request latency distribution.
+    write_latency: Optional[LatencyHistogram] = None
+    #: Windowed time-series keyed by name (``flash_miss_rate``,
+    #: ``live_capacity``, ``wear_max`` ...).
+    timeseries: Optional[Dict[str, TimeSeries]] = None
 
     @property
     def flash_miss_rate(self) -> float:
@@ -59,18 +85,72 @@ class SimulationReport:
         The paper's server benchmarks report network bandwidth; in a
         storage-bound server it is proportional to request throughput.
         """
-        return self.throughput_rps * 2048.0
+        return self.throughput_rps * self.response_bytes
+
+    # -- latency percentiles (None without telemetry) -------------------------
+
+    def _latency_percentile(self, histogram: Optional[LatencyHistogram],
+                            p: float) -> Optional[float]:
+        return histogram.percentile(p) if histogram is not None else None
+
+    @property
+    def read_latency_p50(self) -> Optional[float]:
+        return self._latency_percentile(self.read_latency, 50.0)
+
+    @property
+    def read_latency_p95(self) -> Optional[float]:
+        return self._latency_percentile(self.read_latency, 95.0)
+
+    @property
+    def read_latency_p99(self) -> Optional[float]:
+        return self._latency_percentile(self.read_latency, 99.0)
+
+    @property
+    def write_latency_p50(self) -> Optional[float]:
+        return self._latency_percentile(self.write_latency, 50.0)
+
+    @property
+    def write_latency_p95(self) -> Optional[float]:
+        return self._latency_percentile(self.write_latency, 95.0)
+
+    @property
+    def write_latency_p99(self) -> Optional[float]:
+        return self._latency_percentile(self.write_latency, 99.0)
 
 
 def run_trace(system: DramOnlySystem | FlashBackedSystem,
               records: Iterable[TraceRecord],
-              drain: bool = True) -> SimulationReport:
+              drain: bool = True,
+              telemetry: Optional[Telemetry] = None,
+              server: Optional[ServerModel] = None) -> SimulationReport:
     """Run a trace to completion and summarise.
 
     ``drain`` flushes dirty PDC/Flash state afterwards so that power and
-    disk-traffic accounting cover the whole data lifecycle.
+    disk-traffic accounting cover the whole data lifecycle.  ``telemetry``
+    (optional) is attached to every layer for the duration of the run and
+    sampled every ``telemetry.sample_interval`` requests; the report then
+    carries latency histograms and time-series.  ``server`` supplies the
+    response payload size behind the report's network-bandwidth proxy.
     """
-    system.run(records)
+    if telemetry is None:
+        system.run(records)
+    else:
+        telemetry.attach(system)
+        sampler = TraceSampler(telemetry, system,
+                               interval=telemetry.sample_interval)
+        process = system.process
+        maybe_sample = sampler.maybe_sample
+        # Track trace position locally (one request per expanded page)
+        # rather than reading the stats property back per record.
+        position = 0
+        for record in records:
+            process(record)
+            position += record.pages
+            if position >= sampler.next_at:
+                maybe_sample(position)
+        # Close every series with the end-of-trace state so a short trace
+        # still yields at least one point per signal.
+        sampler.finalize(system.stats.requests)
     flash_stats = None
     controller_stats = None
     fault_stats = None
@@ -87,6 +167,11 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
             fault_stats = injector.stats
         live_capacity = flash.live_capacity_fraction()
         degraded = flash.degraded
+        if telemetry is not None:
+            telemetry.harvest_cache_counters(flash)
+    if telemetry is not None:
+        # After drain, so the counters cover the whole data lifecycle.
+        telemetry.harvest_system_counters(system)
     return SimulationReport(
         requests=system.stats.requests,
         reads=system.stats.reads,
@@ -103,4 +188,12 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
         faults=fault_stats,
         flash_live_capacity=live_capacity,
         flash_degraded=degraded,
+        response_bytes=(server.response_bytes if server is not None
+                        else _DEFAULT_RESPONSE_BYTES),
+        read_latency=(telemetry.read_latency
+                      if telemetry is not None else None),
+        write_latency=(telemetry.write_latency
+                       if telemetry is not None else None),
+        timeseries=(telemetry.timeseries
+                    if telemetry is not None else None),
     )

@@ -1,0 +1,298 @@
+"""Metric primitives: counters, gauges, and fixed-bucket latency histograms.
+
+The histogram is the workhorse: the paper's throughput story (Figure 10)
+is set by *tail* storage latency, which an average cannot show.  A
+:class:`LatencyHistogram` keeps a fixed geometric bucket ladder spanning
+sub-microsecond DRAM hits to multi-millisecond disk seeks.  Observing a
+sample only appends to a pending buffer — cheap enough for every request
+of a multi-million-access trace — and the buffer is folded into the
+buckets in bulk (vectorised when numpy is importable, a tight pure-Python
+loop otherwise) the moment any statistic is read, so callers never see a
+stale value.  Percentiles come out at report time by interpolating within
+the owning bucket.
+"""
+
+from __future__ import annotations
+
+import bisect
+from typing import Dict, List, Optional, Sequence, Tuple
+
+try:  # Optional acceleration only; every path below has a fallback.
+    import numpy as _np
+except ImportError:  # pragma: no cover - exercised where numpy is absent
+    _np = None
+
+__all__ = [
+    "Counter",
+    "Gauge",
+    "LatencyHistogram",
+    "MetricsRegistry",
+    "DEFAULT_LATENCY_BUCKETS_US",
+]
+
+#: Default bucket upper edges (microseconds): geometric 1-2-5 ladder from
+#: 1us (DRAM) through 100ms (degenerate multi-retry disk paths).  Samples
+#: above the last edge land in an unbounded overflow bucket.
+DEFAULT_LATENCY_BUCKETS_US: Tuple[float, ...] = (
+    1.0, 2.0, 5.0, 10.0, 20.0, 50.0, 100.0, 200.0, 500.0,
+    1_000.0, 2_000.0, 5_000.0, 10_000.0, 20_000.0, 50_000.0, 100_000.0,
+)
+
+
+class Counter:
+    """Monotonically increasing event count."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0
+
+    def inc(self, amount: int = 1) -> None:
+        self.value += amount
+
+    def __repr__(self) -> str:
+        return f"Counter({self.name}={self.value})"
+
+
+class Gauge:
+    """Last-written instantaneous value."""
+
+    __slots__ = ("name", "value")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.value = 0.0
+
+    def set(self, value: float) -> None:
+        self.value = value
+
+    def __repr__(self) -> str:
+        return f"Gauge({self.name}={self.value})"
+
+
+class LatencyHistogram:
+    """Fixed-bucket histogram with interpolated percentiles.
+
+    Bucket ``i`` counts samples in ``(edges[i-1], edges[i]]`` (the first
+    bucket starts at 0); samples above the last edge go to the overflow
+    bucket.  Percentiles interpolate linearly inside the owning bucket and
+    are clamped to the observed ``[min, max]``, which makes the
+    single-sample and narrow-distribution cases exact instead of
+    bucket-quantised.
+
+    Internally :meth:`observe` buffers the raw value and every reader
+    drains the buffer first (see the module docstring), so ``count``,
+    ``counts`` and friends are plain properties rather than attributes.
+    """
+
+    __slots__ = ("name", "edges", "_counts", "_overflow", "_count",
+                 "_total", "_min", "_max", "_pending", "_push")
+
+    #: Fold the pending buffer into the buckets whenever it reaches this
+    #: many samples, bounding memory on unbounded traces.
+    _DRAIN_THRESHOLD = 65536
+
+    def __init__(self, name: str,
+                 edges: Sequence[float] = DEFAULT_LATENCY_BUCKETS_US):
+        if not edges or any(b <= a for a, b in zip(edges, edges[1:])):
+            raise ValueError("bucket edges must be strictly increasing")
+        self.name = name
+        self.edges: List[float] = list(edges)
+        self._counts: List[int] = [0] * len(self.edges)
+        self._overflow = 0
+        self._count = 0
+        self._total = 0.0
+        self._min = float("inf")
+        self._max = 0.0
+        self._pending: List[float] = []
+        # Pre-bound append: observe() is the hottest method in the
+        # telemetry layer, one bound-method call is all it can afford.
+        self._push = self._pending.append
+
+    def observe(self, value: float) -> None:
+        self._push(value)
+        if len(self._pending) >= self._DRAIN_THRESHOLD:
+            self._drain()
+
+    def _drain(self) -> None:
+        """Fold buffered samples into the bucket counts."""
+        pending = self._pending
+        if not pending:
+            return
+        self._pending = []
+        self._push = self._pending.append
+        self._count += len(pending)
+        edges = self.edges
+        size = len(edges)
+        counts = self._counts
+        if _np is not None and len(pending) >= 32:
+            samples = _np.asarray(pending)
+            self._total += float(samples.sum())
+            low = float(samples.min())
+            high = float(samples.max())
+            per_bucket = _np.bincount(
+                _np.searchsorted(edges, samples, side="left"),
+                minlength=size + 1)
+            for index in range(size):
+                bucket = int(per_bucket[index])
+                if bucket:
+                    counts[index] += bucket
+            self._overflow += int(per_bucket[size])
+        else:
+            find = bisect.bisect_left
+            low = high = pending[0]
+            total = 0.0
+            overflow = 0
+            for value in pending:
+                total += value
+                if value < low:
+                    low = value
+                elif value > high:
+                    high = value
+                index = find(edges, value)
+                if index >= size:
+                    overflow += 1
+                else:
+                    counts[index] += 1
+            self._total += total
+            self._overflow += overflow
+        if low < self._min:
+            self._min = low
+        if high > self._max:
+            self._max = high
+
+    # -- read side: every accessor drains first ---------------------------------
+
+    @property
+    def counts(self) -> List[int]:
+        self._drain()
+        return self._counts
+
+    @property
+    def overflow(self) -> int:
+        self._drain()
+        return self._overflow
+
+    @property
+    def count(self) -> int:
+        self._drain()
+        return self._count
+
+    @property
+    def total(self) -> float:
+        self._drain()
+        return self._total
+
+    @property
+    def min(self) -> float:
+        self._drain()
+        return self._min
+
+    @property
+    def max(self) -> float:
+        self._drain()
+        return self._max
+
+    @property
+    def mean(self) -> float:
+        self._drain()
+        return self._total / self._count if self._count else 0.0
+
+    def percentile(self, p: float) -> float:
+        """Value at percentile ``p`` in [0, 100]; 0.0 on an empty histogram."""
+        if not 0.0 <= p <= 100.0:
+            raise ValueError("percentile must be in [0, 100]")
+        self._drain()
+        if self._count == 0:
+            return 0.0
+        rank = p / 100.0 * self._count
+        cumulative = 0
+        for index, bucket_count in enumerate(self._counts):
+            if bucket_count == 0:
+                continue
+            lower = self.edges[index - 1] if index else 0.0
+            upper = self.edges[index]
+            if cumulative + bucket_count >= rank:
+                fraction = (rank - cumulative) / bucket_count
+                value = lower + fraction * (upper - lower)
+                return min(max(value, self._min), self._max)
+            cumulative += bucket_count
+        # Rank falls in the overflow bucket, which has no upper edge; the
+        # observed max is the tightest honest answer.
+        return self._max
+
+    @property
+    def p50(self) -> float:
+        return self.percentile(50.0)
+
+    @property
+    def p95(self) -> float:
+        return self.percentile(95.0)
+
+    @property
+    def p99(self) -> float:
+        return self.percentile(99.0)
+
+    def summary(self) -> Dict[str, float]:
+        """Scalar digest used by reports and the JSON exporter."""
+        return {
+            "count": self.count,
+            "mean": self.mean,
+            "min": self.min if self.count else 0.0,
+            "max": self.max,
+            "p50": self.p50,
+            "p95": self.p95,
+            "p99": self.p99,
+        }
+
+    def bucket_rows(self) -> List[Tuple[float, int]]:
+        """(upper edge, count) per bucket, overflow last with +inf edge."""
+        rows = list(zip(self.edges, self.counts))
+        rows.append((float("inf"), self.overflow))
+        return rows
+
+    def __repr__(self) -> str:
+        return (f"LatencyHistogram({self.name}, n={self.count}, "
+                f"p50={self.p50:.1f}, p99={self.p99:.1f})")
+
+
+class MetricsRegistry:
+    """Get-or-create home for every named instrument."""
+
+    def __init__(self) -> None:
+        self.counters: Dict[str, Counter] = {}
+        self.gauges: Dict[str, Gauge] = {}
+        self.histograms: Dict[str, LatencyHistogram] = {}
+
+    def counter(self, name: str) -> Counter:
+        instrument = self.counters.get(name)
+        if instrument is None:
+            instrument = self.counters[name] = Counter(name)
+        return instrument
+
+    def gauge(self, name: str) -> Gauge:
+        instrument = self.gauges.get(name)
+        if instrument is None:
+            instrument = self.gauges[name] = Gauge(name)
+        return instrument
+
+    def histogram(self, name: str,
+                  edges: Optional[Sequence[float]] = None
+                  ) -> LatencyHistogram:
+        instrument = self.histograms.get(name)
+        if instrument is None:
+            instrument = self.histograms[name] = LatencyHistogram(
+                name, edges or DEFAULT_LATENCY_BUCKETS_US)
+        return instrument
+
+    def as_dict(self) -> Dict[str, Dict]:
+        """Plain-data snapshot (the JSON exporter's payload)."""
+        return {
+            "counters": {name: c.value
+                         for name, c in sorted(self.counters.items())},
+            "gauges": {name: g.value
+                       for name, g in sorted(self.gauges.items())},
+            "histograms": {name: h.summary()
+                           for name, h in sorted(self.histograms.items())},
+        }

@@ -1,0 +1,132 @@
+"""Windowed time-series sampling over a running simulation.
+
+The paper's long studies are about how things *evolve* — miss rate as the
+cache warms, live capacity as faults retire blocks, wear spreading across
+the array.  A :class:`TraceSampler` snapshots those signals every N
+requests (trace position is the x axis: simulated wall-clock would
+compress the interesting late-trace region once the device slows down).
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Dict, List, Optional
+
+if TYPE_CHECKING:  # pragma: no cover - import cycle guard, typing only
+    from . import Telemetry
+
+__all__ = ["TimeSeries", "TraceSampler"]
+
+
+class TimeSeries:
+    """One named (x, y) sequence; x is trace position in requests."""
+
+    __slots__ = ("name", "xs", "ys")
+
+    def __init__(self, name: str):
+        self.name = name
+        self.xs: List[float] = []
+        self.ys: List[float] = []
+
+    def append(self, x: float, y: float) -> None:
+        self.xs.append(x)
+        self.ys.append(y)
+
+    def __len__(self) -> int:
+        return len(self.xs)
+
+    @property
+    def last(self) -> Optional[float]:
+        return self.ys[-1] if self.ys else None
+
+    def as_dict(self) -> Dict[str, List[float]]:
+        return {"x": list(self.xs), "y": list(self.ys)}
+
+    def __repr__(self) -> str:
+        return f"TimeSeries({self.name}, points={len(self.xs)})"
+
+
+class TraceSampler:
+    """Per-N-requests snapshots of a hierarchy's health signals.
+
+    Samples whatever the attached system exposes: PDC miss rate always;
+    Flash miss rate, live capacity, wear max/avg, retry and uncorrectable
+    counts when the system carries a Flash disk cache.  The sampler reads
+    existing statistics — it never touches simulation state, so sampled
+    and unsampled runs stay bit-identical.
+    """
+
+    def __init__(self, telemetry: "Telemetry", system,
+                 interval: int = 1000):
+        if interval < 1:
+            raise ValueError("sample interval must be >= 1")
+        self.telemetry = telemetry
+        self.system = system
+        self.interval = interval
+        #: Next trace position that triggers a snapshot.  Public so the
+        #: driving loop can compare against it inline instead of paying a
+        #: :meth:`maybe_sample` call per record.
+        self.next_at = interval
+        self._last_position = -1
+        self._flash = getattr(system, "flash", None)
+        # Live capacity needs a full per-block scan; it only moves when a
+        # capacity-changing action happened, so cache it keyed on the
+        # counters those actions bump.
+        self._capacity_key: Optional[tuple] = None
+        self._capacity_value = 1.0
+
+    def maybe_sample(self, position: int) -> None:
+        """Snapshot when ``position`` (requests processed) crosses the
+        next window edge.  Call once per processed record."""
+        if position >= self.next_at:
+            self.sample(position)
+            # Multi-page records can jump several windows at once; land
+            # the next edge strictly ahead of the current position.
+            while self.next_at <= position:
+                self.next_at += self.interval
+
+    def finalize(self, position: int) -> None:
+        """End-of-trace snapshot, skipped when ``position`` was already
+        sampled (a trace length that is an exact multiple of the
+        interval) so series never carry duplicate x values."""
+        if position != self._last_position:
+            self.sample(position)
+
+    def sample(self, position: int) -> None:
+        """Record one snapshot at trace position ``position``."""
+        self._last_position = position
+        series = self.telemetry.series
+        pdc = self.system.pdc.stats
+        series("pdc_miss_rate").append(position, pdc.miss_rate)
+        flash = self._flash
+        if flash is None:
+            return
+        stats = flash.stats
+        series("flash_miss_rate").append(position, stats.read_miss_rate)
+        series("live_capacity").append(position, self._live_capacity())
+        controller = flash.controller
+        series("read_retries").append(position,
+                                      controller.stats.read_retries)
+        series("uncorrectable_reads").append(
+            position, controller.stats.uncorrectable_reads)
+        series("retired_blocks").append(position,
+                                        controller.stats.blocks_retired)
+        wear_max, wear_avg = controller.device.wear_summary()
+        series("wear_max").append(position, wear_max)
+        series("wear_avg").append(position, wear_avg)
+
+    def _live_capacity(self) -> float:
+        """Cached :meth:`live_capacity_fraction`.
+
+        The scan is O(blocks); recompute only when a capacity-changing
+        action happened since the last sample: a retirement, a frame
+        marked bad, or an erase (pended density changes take effect at
+        erase time), or the degraded flag flipping.
+        """
+        flash = self._flash
+        stats = flash.controller.stats
+        key = (stats.blocks_retired, stats.frames_marked_bad,
+               stats.erases, flash.degraded)
+        if key != self._capacity_key:
+            self._capacity_key = key
+            self._capacity_value = flash.live_capacity_fraction()
+        return self._capacity_value
