@@ -10,6 +10,11 @@ Commands
                            (``--telemetry-out`` dumps the degradation
                            timeline as JSON)
 ``report``                 run the whole evaluation, print markdown
+                           (``--workers N`` fans each section's grid
+                           out across processes)
+``sweep``                  run figure grids through the parallel sweep
+                           runner and emit one aggregated JSON document
+                           (``--workers N``, ``--figures``, ``--out``)
 ``profile <trace.spc>``    characterise a (UMass SPC) disk trace
 ``run <trace.spc>``        replay a trace through the Flash hierarchy,
                            optionally with injected faults
@@ -75,6 +80,28 @@ def _build_parser() -> argparse.ArgumentParser:
                         default="default")
     report.add_argument("--sections", nargs="*", default=None,
                         help="subset of sections (e.g. fig4 fig12)")
+    report.add_argument("--workers", type=int, default=1,
+                        help="process-pool size for each section's grid "
+                             "(default 1 = serial; results are identical "
+                             "at any worker count)")
+
+    sweep = sub.add_parser(
+        "sweep", help="run figure grids through the parallel sweep "
+                      "runner and emit aggregated JSON")
+    sweep.add_argument("--workers", type=int, default=1,
+                       help="process-pool size (default 1 = serial; the "
+                            "figure series are identical at any worker "
+                            "count)")
+    sweep.add_argument("--figures", nargs="*", default=None,
+                       help="subset of figure grids (e.g. fig6 fig12); "
+                            "default: all")
+    sweep.add_argument("--scale", choices=("quick", "default", "full"),
+                       default="default")
+    sweep.add_argument("--out", default=None, metavar="PATH",
+                       help="write the aggregated JSON document here "
+                            "(default: stdout)")
+    sweep.add_argument("--quiet", action="store_true",
+                       help="suppress per-task progress lines")
 
     profile = sub.add_parser("profile", help="characterise an SPC trace")
     profile.add_argument("path")
@@ -142,11 +169,12 @@ def main(argv: list[str] | None = None) -> int:
         _FIGURES[args.command]()
         return 0
     if args.command == "report":
-        scale = {"quick": ReportScale.quick(),
-                 "default": ReportScale(),
-                 "full": ReportScale.full()}[args.scale]
-        print(generate_report(scale=scale, sections=args.sections))
+        scale = _SCALES[args.scale]()
+        print(generate_report(scale=scale, sections=args.sections,
+                              workers=args.workers))
         return 0
+    if args.command == "sweep":
+        return _sweep_command(args)
     if args.command == "profile":
         records = records_from_spc_file(args.path, limit=args.limit)
         print(profile_trace(records).summary())
@@ -156,6 +184,44 @@ def main(argv: list[str] | None = None) -> int:
     if args.command == "stats":
         return _stats_command(args)
     return 1
+
+
+_SCALES = {"quick": ReportScale.quick,
+           "default": ReportScale,
+           "full": ReportScale.full}
+
+
+def _sweep_command(args: argparse.Namespace) -> int:
+    import json
+
+    from .experiments.sweeps import run_sweep
+
+    progress = None
+    if not args.quiet:
+        def progress(result, done, total):
+            status = "ok" if result.ok else "FAILED"
+            print(f"[{done}/{total}] {result.key}: {status} "
+                  f"({result.elapsed_s:.1f}s)", file=sys.stderr)
+
+    try:
+        document = run_sweep(figures=args.figures,
+                             scale=_SCALES[args.scale](),
+                             workers=args.workers,
+                             progress=progress)
+    except KeyError as exc:
+        print(f"error: {exc.args[0]}", file=sys.stderr)
+        return 2
+    payload = json.dumps(document, indent=2, sort_keys=True)
+    if args.out is not None:
+        with open(args.out, "w", encoding="utf-8") as handle:
+            handle.write(payload + "\n")
+        meta = document["meta"]
+        print(f"sweep: {meta['tasks']} tasks, {meta['workers']} workers, "
+              f"{meta['elapsed_s']}s -> {args.out}", file=sys.stderr)
+    else:
+        print(payload)
+    errors = document["meta"]["errors"]
+    return 1 if errors else 0
 
 
 def _build_system_and_records(args: argparse.Namespace):

@@ -10,23 +10,33 @@ disk-bound dbt2 falling off harder past ~15 bits.
 The sweep reruns the scaled platform with a fixed-strength controller per
 point and converts storage behaviour to throughput with the closed-loop
 server model.
+
+Spawn-safety: one task per code strength; the worker rebuilds workload,
+platform, and controller from the task's primitives.  The ECC-disabled
+reference point pre-loads the decode/encode latency caches of *its own
+freshly built* controller — per-task state, never a shared object.  All
+strengths deliberately share the experiment seed: the figure replays one
+identical trace per workload so the throughput delta isolates the code
+strength.  Relative bandwidth is computed in :func:`combine` (parent
+process) against the weakest strength in the grid.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Sequence, Tuple
 
 from ..core.controller import ControllerConfig
 from ..core.hierarchy import build_flash_system
 from ..ecc.latency import AcceleratorConfig, BCHLatencyModel
+from ..parallel import SweepResult, SweepTask, sweep
 from ..sim.engine import run_trace
 from ..sim.server import ServerModel
 from ..workloads.macro import build_workload
 from ..workloads.trace import PAGE_BYTES
 
 __all__ = ["ThroughputPoint", "run_ecc_throughput_sweep",
-           "PAPER_STRENGTHS"]
+           "PAPER_STRENGTHS", "tasks", "combine"]
 
 #: The x axis of Figure 10 (0 = ECC disabled reference point).
 PAPER_STRENGTHS = (0, 1, 5, 10, 15, 20, 30, 40, 50)
@@ -80,24 +90,45 @@ def _run_at_strength(workload: str, strength: int, scale_divisor: int,
     return report.average_latency_us, busy_per_request
 
 
-def run_ecc_throughput_sweep(
+def _strength_task(workload: str, strength: int, scale_divisor: int,
+                   num_records: int, seed: int
+                   ) -> Tuple[int, float, float]:
+    """Worker entry point: one strength's (strength, latency, busy)."""
+    latency, busy = _run_at_strength(
+        workload, strength, scale_divisor, num_records, seed)
+    return strength, latency, busy
+
+
+def tasks(
     workload: str = "specweb99",
     strengths: Sequence[int] = PAPER_STRENGTHS,
     scale_divisor: int = 64,
     num_records: int = 60_000,
     seed: int = 17,
-    server: ServerModel | None = None,
-) -> List[ThroughputPoint]:
-    """Figure 10 sweep for one workload."""
+) -> List[SweepTask]:
+    """The Figure 10 grid for one workload, one task per code strength."""
+    return [SweepTask(key=f"fig10:{workload}:t={strength}",
+                      fn=_strength_task,
+                      kwargs={"workload": workload, "strength": strength,
+                              "scale_divisor": scale_divisor,
+                              "num_records": num_records, "seed": seed})
+            for strength in strengths]
+
+
+def combine(results: Sequence[SweepResult],
+            server: ServerModel | None = None) -> List[ThroughputPoint]:
+    """Normalise each strength's throughput to the weakest in the grid."""
     server = server or ServerModel()
     samples: Dict[int, tuple[float, float]] = {}
-    for strength in strengths:
-        samples[strength] = _run_at_strength(
-            workload, strength, scale_divisor, num_records, seed)
-    base_latency, base_busy = samples[min(strengths)]
+    order: List[int] = []
+    for result in results:
+        strength, latency, busy = result.unwrap()
+        samples[strength] = (latency, busy)
+        order.append(strength)
+    base_latency, base_busy = samples[min(order)]
     base_throughput = server.throughput_rps(base_latency, base_busy)
     points: List[ThroughputPoint] = []
-    for strength in strengths:
+    for strength in order:
         latency, busy = samples[strength]
         throughput = server.throughput_rps(latency, busy)
         points.append(ThroughputPoint(
@@ -107,6 +138,22 @@ def run_ecc_throughput_sweep(
             relative_bandwidth=throughput / base_throughput,
         ))
     return points
+
+
+def run_ecc_throughput_sweep(
+    workload: str = "specweb99",
+    strengths: Sequence[int] = PAPER_STRENGTHS,
+    scale_divisor: int = 64,
+    num_records: int = 60_000,
+    seed: int = 17,
+    server: ServerModel | None = None,
+    workers: int = 1,
+) -> List[ThroughputPoint]:
+    """Figure 10 sweep for one workload."""
+    return combine(
+        sweep(tasks(workload, strengths, scale_divisor, num_records, seed),
+              workers=workers),
+        server=server)
 
 
 def main() -> None:

@@ -7,16 +7,25 @@ from MLC to SLC?  The paper's headline trend: the longer a workload's
 popularity tail, the more the controller prefers ECC (capacity is
 precious); short-tailed (exponential) workloads flip almost entirely to
 density reduction.
+
+Spawn-safety: one task per workload; the worker builds a fresh
+:class:`~repro.sim.lifetime.AgingConfig` (a frozen dataclass) and
+simulator from the task's primitives.  Config overrides travel as a
+plain dict of primitives, so tasks pickle cleanly under fork or spawn.
+Every workload shares the experiment seed, matching the serial loop the
+figure always ran.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List, Sequence
+from typing import Dict, List, Optional, Sequence
 
+from ..parallel import SweepResult, SweepTask, sweep
 from ..sim.lifetime import AgingConfig, LifetimeSimulator
 
-__all__ = ["ReconfigBreakdown", "run_reconfig_breakdown", "FIG11_WORKLOADS"]
+__all__ = ["ReconfigBreakdown", "run_reconfig_breakdown", "FIG11_WORKLOADS",
+           "tasks", "combine"]
 
 #: The x axis of Figure 11, in paper order.
 FIG11_WORKLOADS = (
@@ -35,26 +44,48 @@ class ReconfigBreakdown:
     total_updates: int
 
 
+def _breakdown_task(workload: str, seed: int,
+                    config_overrides: Optional[dict] = None
+                    ) -> ReconfigBreakdown:
+    """Worker entry point: one workload's aging run and decision mix."""
+    config = AgingConfig(workload=workload, controller="programmable",
+                         seed=seed, **(config_overrides or {}))
+    outcome = LifetimeSimulator(config).run()
+    breakdown = outcome.early_reconfig_breakdown
+    return ReconfigBreakdown(
+        workload=workload,
+        code_strength_fraction=breakdown["code_strength"],
+        density_fraction=breakdown["density"],
+        total_updates=sum(outcome.first_choices.values()),
+    )
+
+
+def tasks(
+    workloads: Sequence[str] = FIG11_WORKLOADS,
+    seed: int = 42,
+    **config_overrides,
+) -> List[SweepTask]:
+    """The Figure 11 grid, one task per workload."""
+    return [SweepTask(key=f"fig11:{workload}", fn=_breakdown_task,
+                      kwargs={"workload": workload, "seed": seed,
+                              "config_overrides": dict(config_overrides)})
+            for workload in workloads]
+
+
+def combine(results: Sequence[SweepResult]) -> List[ReconfigBreakdown]:
+    return [result.unwrap() for result in results]
+
+
 def run_reconfig_breakdown(
     workloads: Sequence[str] = FIG11_WORKLOADS,
     seed: int = 42,
+    workers: int = 1,
     **config_overrides,
 ) -> List[ReconfigBreakdown]:
     """Run the aging simulation per workload and report the early
     (near-first-failure) decision mix, as the paper measures."""
-    results: List[ReconfigBreakdown] = []
-    for workload in workloads:
-        config = AgingConfig(workload=workload, controller="programmable",
-                             seed=seed, **config_overrides)
-        outcome = LifetimeSimulator(config).run()
-        breakdown = outcome.early_reconfig_breakdown
-        results.append(ReconfigBreakdown(
-            workload=workload,
-            code_strength_fraction=breakdown["code_strength"],
-            density_fraction=breakdown["density"],
-            total_updates=sum(outcome.first_choices.values()),
-        ))
-    return results
+    return combine(sweep(tasks(workloads, seed, **config_overrides),
+                         workers=workers))
 
 
 def main() -> None:

@@ -6,17 +6,26 @@ conventional one-error-correcting controller, normalised to the largest
 observed lifetime.  The paper's headline: the programmable controller
 extends lifetime by a factor of ~20 on average — a six-month device
 stretches past ten years.
+
+Spawn-safety: one task per (workload, controller) pair; the worker runs
+a fresh aging simulation from the task's primitives, with overrides as a
+plain dict.  Both controllers of a workload share the experiment seed by
+design — the comparison must age identical devices under identical
+traffic — and the cross-workload normalisation happens in
+:func:`combine` (parent process), which needs every pair's result.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
 from statistics import mean
-from typing import List, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
+from ..parallel import SweepResult, SweepTask, sweep
 from ..sim.lifetime import simulate_lifetime
 
-__all__ = ["LifetimeRow", "run_lifetime_comparison", "FIG12_WORKLOADS"]
+__all__ = ["LifetimeRow", "run_lifetime_comparison", "FIG12_WORKLOADS",
+           "tasks", "combine"]
 
 #: The x axis of Figure 12 (the paper omits exp2 in this figure).
 FIG12_WORKLOADS = (
@@ -40,22 +49,43 @@ class LifetimeRow:
         return self.programmable_accesses / self.bch1_accesses
 
 
-def run_lifetime_comparison(
+def _lifetime_task(workload: str, controller: str, seed: int,
+                   config_overrides: Optional[dict] = None) -> float:
+    """Worker entry point: host accesses to total failure for one pair."""
+    result = simulate_lifetime(workload, controller, seed=seed,
+                               **(config_overrides or {}))
+    return result.host_accesses_to_failure
+
+
+def tasks(
     workloads: Sequence[str] = FIG12_WORKLOADS,
     seed: int = 42,
     **config_overrides,
-) -> List[LifetimeRow]:
-    """The full Figure 12 sweep."""
-    raw = []
-    for workload in workloads:
-        programmable = simulate_lifetime(
-            workload, "programmable", seed=seed, **config_overrides)
-        fixed = simulate_lifetime(
-            workload, "bch1", seed=seed, **config_overrides)
-        raw.append((workload,
-                    programmable.host_accesses_to_failure,
-                    fixed.host_accesses_to_failure))
-    scale = max(accesses for _, accesses, _ in raw)
+) -> List[SweepTask]:
+    """The Figure 12 grid, one task per (workload, controller) pair."""
+    return [
+        SweepTask(key=f"fig12:{workload}:{controller}", fn=_lifetime_task,
+                  kwargs={"workload": workload, "controller": controller,
+                          "seed": seed,
+                          "config_overrides": dict(config_overrides)})
+        for workload in workloads
+        for controller in ("programmable", "bch1")
+    ]
+
+
+def combine(results: Sequence[SweepResult]) -> List[LifetimeRow]:
+    """Pair and normalise every workload's two bars (needs the whole
+    grid: the y axis is normalised to the largest observed lifetime)."""
+    accesses: Dict[Tuple[str, str], float] = {}
+    order: List[str] = []
+    for result in results:
+        _, workload, controller = result.key.split(":")
+        accesses[(workload, controller)] = result.unwrap()
+        if workload not in order:
+            order.append(workload)
+    raw = [(workload, accesses[(workload, "programmable")],
+            accesses[(workload, "bch1")]) for workload in order]
+    scale = max(value for _, value, _ in raw)
     return [
         LifetimeRow(
             workload=workload,
@@ -66,6 +96,17 @@ def run_lifetime_comparison(
         )
         for workload, programmable, fixed in raw
     ]
+
+
+def run_lifetime_comparison(
+    workloads: Sequence[str] = FIG12_WORKLOADS,
+    seed: int = 42,
+    workers: int = 1,
+    **config_overrides,
+) -> List[LifetimeRow]:
+    """The full Figure 12 sweep."""
+    return combine(sweep(tasks(workloads, seed, **config_overrides),
+                         workers=workers))
 
 
 def average_improvement(rows: Sequence[LifetimeRow]) -> float:

@@ -6,6 +6,12 @@ study could only use 80% of its capacity.  We reproduce the curve by
 driving steady out-of-place write traffic over footprints sized to pin the
 cache at each target occupancy and measuring background GC time relative
 to foreground service time, normalised the way the paper plots it.
+
+Spawn-safety: each occupancy level is an independent task whose worker
+builds its own device/controller/cache stack and RNG from the task's
+primitives; every occupancy deliberately shares the experiment seed so
+the churn streams stay comparable across the sweep, exactly as the
+serial loop always ran them.
 """
 
 from __future__ import annotations
@@ -19,8 +25,9 @@ from ..core.controller import ProgrammableFlashController
 from ..flash.device import FlashDevice
 from ..flash.geometry import FlashGeometry
 from ..flash.timing import CellMode
+from ..parallel import SweepResult, SweepTask, sweep
 
-__all__ = ["GcPoint", "run_gc_overhead_sweep"]
+__all__ = ["GcPoint", "run_gc_overhead_sweep", "tasks", "combine"]
 
 
 @dataclass(frozen=True)
@@ -65,23 +72,36 @@ def _run_at_occupancy(occupancy: float, flash_blocks: int,
         cache.stats.gc_page_moves
 
 
-def run_gc_overhead_sweep(
+def _occupancy_task(occupancy: float, flash_blocks: int,
+                    writes_per_page: float, seed: int) -> tuple:
+    """Worker entry point: one occupancy level's raw measurements."""
+    overhead, runs, moves = _run_at_occupancy(
+        occupancy, flash_blocks, writes_per_page, seed)
+    return occupancy, overhead, runs, moves
+
+
+def tasks(
     occupancies: Sequence[float] = (0.10, 0.20, 0.30, 0.40, 0.50,
                                     0.60, 0.70, 0.80, 0.90, 0.95),
     flash_blocks: int = 32,
     writes_per_page: float = 4.0,
     seed: int = 7,
-) -> List[GcPoint]:
-    """Sweep occupancy and report the Figure 1(b) series.
+) -> List[SweepTask]:
+    """The Figure 1(b) grid, one task per occupancy level."""
+    return [SweepTask(key=f"fig1b:used={occupancy:.2f}",
+                      fn=_occupancy_task,
+                      kwargs={"occupancy": occupancy,
+                              "flash_blocks": flash_blocks,
+                              "writes_per_page": writes_per_page,
+                              "seed": seed})
+            for occupancy in occupancies]
 
-    ``normalized_overhead`` follows the paper's axis ("normalized to an
-    overhead of 10%"): a value of 1 means GC consumes 10% as much time as
-    foreground service.
-    """
+
+def combine(results: Sequence[SweepResult]) -> List[GcPoint]:
+    """Assemble task results (in task order) into the figure series."""
     points: List[GcPoint] = []
-    for occupancy in occupancies:
-        overhead, runs, moves = _run_at_occupancy(
-            occupancy, flash_blocks, writes_per_page, seed)
+    for result in results:
+        occupancy, overhead, runs, moves = result.unwrap()
         points.append(GcPoint(
             used_fraction=occupancy,
             gc_overhead=overhead,
@@ -90,6 +110,25 @@ def run_gc_overhead_sweep(
             gc_page_moves=moves,
         ))
     return points
+
+
+def run_gc_overhead_sweep(
+    occupancies: Sequence[float] = (0.10, 0.20, 0.30, 0.40, 0.50,
+                                    0.60, 0.70, 0.80, 0.90, 0.95),
+    flash_blocks: int = 32,
+    writes_per_page: float = 4.0,
+    seed: int = 7,
+    workers: int = 1,
+) -> List[GcPoint]:
+    """Sweep occupancy and report the Figure 1(b) series.
+
+    ``normalized_overhead`` follows the paper's axis ("normalized to an
+    overhead of 10%"): a value of 1 means GC consumes 10% as much time as
+    foreground service.
+    """
+    return combine(sweep(
+        tasks(occupancies, flash_blocks, writes_per_page, seed),
+        workers=workers))
 
 
 def main() -> None:

@@ -7,11 +7,20 @@ sweep, scaled by a constant factor so the runs stay laptop-sized — the
 miss-rate *ratio* between organisations depends on the cache:working-set
 proportion, which the scaling preserves (the paper itself scaled all
 benchmarks for its simulator, section 6.1).
+
+Spawn-safety: every (size, organisation) pair is an independent sweep
+task.  Workers rebuild the dbt2 disk trace and their cache stack from
+the task's primitives — nothing is shared or mutated across tasks — and
+every pair deliberately carries the *same* experiment seed, because the
+figure replays one identical trace against each configuration (the
+miss-rate delta must isolate the cache organisation, not workload
+noise).
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
+from functools import lru_cache
 from typing import List, Optional, Sequence
 
 from ..core.cache import FlashCacheConfig, FlashDiskCache
@@ -19,13 +28,15 @@ from ..core.controller import ProgrammableFlashController
 from ..flash.device import FlashDevice
 from ..flash.geometry import FlashGeometry
 from ..flash.timing import CellMode
+from ..parallel import SweepResult, SweepTask, merge_telemetry, sweep
 from ..telemetry import Telemetry
 from ..workloads.macro import build_workload
 from ..workloads.postpdc import derive_disk_trace
 from ..workloads.trace import PAGE_BYTES, TraceRecord
 
 __all__ = ["SplitMissPoint", "replay_disk_trace", "run_split_sweep",
-           "run_split_timeline", "PAPER_FLASH_SIZES_MB", "SCALE_DIVISOR"]
+           "run_split_timeline", "PAPER_FLASH_SIZES_MB", "SCALE_DIVISOR",
+           "tasks", "combine", "timeline_tasks", "combine_timeline"]
 
 #: The x axis of Figure 4.
 PAPER_FLASH_SIZES_MB = (128, 256, 384, 512, 640)
@@ -115,37 +126,122 @@ def _build_cache(flash_bytes: int, split: bool,
     )
 
 
-def run_split_sweep(
-    flash_sizes_mb: Sequence[int] = PAPER_FLASH_SIZES_MB,
-    scale_divisor: int = SCALE_DIVISOR,
-    num_records: int = 600_000,
-    seed: int = 11,
-) -> List[SplitMissPoint]:
-    """The Figure 4 sweep: dbt2 disk trace, unified vs split, per size.
+@lru_cache(maxsize=2)
+def _disk_trace(scale_divisor: int, num_records: int,
+                seed: int) -> tuple:
+    """The figure's input: the raw dbt2 stream filtered through a scaled
+    256MB page cache, exactly how the paper captured its dbt2 disk trace
+    from the full-system simulator.
 
-    The input is a *disk-level* trace: the raw dbt2 stream filtered
-    through a scaled 256MB page cache, exactly how the paper captured its
-    dbt2 disk trace from the full-system simulator.
+    Memoised per process (the records are immutable) so the serial path
+    derives it once for the whole grid, as the original loop did, and
+    each pool worker derives it once per process instead of once per
+    task.  Deterministic in its arguments, so caching cannot change
+    results.
     """
     footprint_pages = (2 << 30) // scale_divisor // PAGE_BYTES  # dbt2 2GB
     raw = build_workload("dbt2", num_records=num_records, seed=seed,
                          footprint_pages=footprint_pages)
     pdc_pages = (256 << 20) // scale_divisor // PAGE_BYTES
-    records = derive_disk_trace(raw, pdc_pages)
+    return tuple(derive_disk_trace(raw, pdc_pages))
+
+
+def _miss_rate_task(flash_mb: int, split: bool, scale_divisor: int,
+                    num_records: int, seed: int) -> float:
+    """Worker entry point: one (size, organisation) pair's miss rate."""
+    records = _disk_trace(scale_divisor, num_records, seed)
+    cache = _build_cache(flash_mb * (1 << 20) // scale_divisor, split)
+    replay_disk_trace(cache, records)
+    return cache.stats.miss_rate
+
+
+def tasks(
+    flash_sizes_mb: Sequence[int] = PAPER_FLASH_SIZES_MB,
+    scale_divisor: int = SCALE_DIVISOR,
+    num_records: int = 600_000,
+    seed: int = 11,
+) -> List[SweepTask]:
+    """The Figure 4 grid: one task per (size, organisation) pair."""
+    return [
+        SweepTask(key=f"fig4:{size_mb}mb:{'split' if split else 'unified'}",
+                  fn=_miss_rate_task,
+                  kwargs={"flash_mb": size_mb, "split": split,
+                          "scale_divisor": scale_divisor,
+                          "num_records": num_records, "seed": seed})
+        for size_mb in flash_sizes_mb
+        for split in (False, True)
+    ]
+
+
+def combine(results: Sequence[SweepResult]) -> List[SplitMissPoint]:
+    """Pair each size's unified/split miss rates back into figure points."""
+    rates = {result.key: result.unwrap() for result in results}
     points: List[SplitMissPoint] = []
-    for size_mb in flash_sizes_mb:
-        flash_bytes = size_mb * (1 << 20) // scale_divisor
-        rates = {}
-        for split in (False, True):
-            cache = _build_cache(flash_bytes, split)
-            replay_disk_trace(cache, records)
-            rates[split] = cache.stats.miss_rate
+    for key in rates:
+        if not key.endswith(":unified"):
+            continue
+        size_mb = int(key.split(":")[1].removesuffix("mb"))
         points.append(SplitMissPoint(
             flash_mb_paper_scale=size_mb,
-            unified_miss_rate=rates[False],
-            split_miss_rate=rates[True],
+            unified_miss_rate=rates[key],
+            split_miss_rate=rates[f"fig4:{size_mb}mb:split"],
         ))
     return points
+
+
+def run_split_sweep(
+    flash_sizes_mb: Sequence[int] = PAPER_FLASH_SIZES_MB,
+    scale_divisor: int = SCALE_DIVISOR,
+    num_records: int = 600_000,
+    seed: int = 11,
+    workers: int = 1,
+) -> List[SplitMissPoint]:
+    """The Figure 4 sweep: dbt2 disk trace, unified vs split, per size."""
+    return combine(sweep(
+        tasks(flash_sizes_mb, scale_divisor, num_records, seed),
+        workers=workers))
+
+
+def _timeline_task(flash_mb: int, split: bool, scale_divisor: int,
+                   num_records: int, seed: int,
+                   sample_interval: int) -> Telemetry:
+    """Worker entry point: one organisation's warm-up telemetry."""
+    records = _disk_trace(scale_divisor, num_records, seed)
+    cache = _build_cache(flash_mb * (1 << 20) // scale_divisor, split)
+    telemetry = Telemetry(sample_interval=sample_interval)
+    replay_disk_trace(cache, records, telemetry=telemetry,
+                      series_prefix="split_" if split else "unified_")
+    return telemetry
+
+
+def timeline_tasks(
+    flash_mb: int = 256,
+    scale_divisor: int = SCALE_DIVISOR,
+    num_records: int = 120_000,
+    seed: int = 11,
+    sample_interval: int = 10_000,
+) -> List[SweepTask]:
+    """One task per organisation; each returns its own telemetry handle."""
+    return [
+        SweepTask(key=f"fig4tl:{'split' if split else 'unified'}",
+                  fn=_timeline_task,
+                  kwargs={"flash_mb": flash_mb, "split": split,
+                          "scale_divisor": scale_divisor,
+                          "num_records": num_records, "seed": seed,
+                          "sample_interval": sample_interval})
+        for split in (False, True)
+    ]
+
+
+def combine_timeline(results: Sequence[SweepResult]) -> Telemetry:
+    """Merge the per-organisation telemetry handles into one.
+
+    Each arm samples into prefix-distinct series and its own histograms;
+    merging (counters add, histograms merge, series concatenate) yields
+    exactly the handle a serial run sharing one telemetry object across
+    both arms produces.
+    """
+    return merge_telemetry(result.unwrap() for result in results)
 
 
 def run_split_timeline(
@@ -154,6 +250,7 @@ def run_split_timeline(
     num_records: int = 120_000,
     seed: int = 11,
     sample_interval: int = 10_000,
+    workers: int = 1,
 ) -> Telemetry:
     """Miss-rate-over-trace-position view of the Figure 4 story.
 
@@ -163,18 +260,10 @@ def run_split_timeline(
     ``unified_miss_rate``, ``split_miss_rate`` (plus the matching
     ``*_used_fraction``).
     """
-    footprint_pages = (2 << 30) // scale_divisor // PAGE_BYTES
-    raw = build_workload("dbt2", num_records=num_records, seed=seed,
-                         footprint_pages=footprint_pages)
-    pdc_pages = (256 << 20) // scale_divisor // PAGE_BYTES
-    records = derive_disk_trace(raw, pdc_pages)
-    flash_bytes = flash_mb * (1 << 20) // scale_divisor
-    telemetry = Telemetry(sample_interval=sample_interval)
-    for split, prefix in ((False, "unified_"), (True, "split_")):
-        cache = _build_cache(flash_bytes, split)
-        replay_disk_trace(cache, records, telemetry=telemetry,
-                          series_prefix=prefix)
-    return telemetry
+    return combine_timeline(sweep(
+        timeline_tasks(flash_mb, scale_divisor, num_records, seed,
+                       sample_interval),
+        workers=workers))
 
 
 def main() -> None:

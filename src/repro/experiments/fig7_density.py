@@ -10,6 +10,12 @@ Paper shapes to look for: Financial2's short tail makes a large (~70%)
 SLC share optimal at half the working set, while WebSearch1 wants almost
 pure MLC until the die approaches the full working set — where both snap
 to 100% SLC and the latency floor of 25 us.
+
+Spawn-safety: one sweep task per workload; the worker builds a fresh
+popularity distribution and optimizer from the task's primitives.  The
+exponential-tail rescaling below constructs a *new* spec instead of
+mutating the shared ``MACRO_WORKLOADS`` entry, so the module-level
+registry is never written to from any task.
 """
 
 from __future__ import annotations
@@ -18,9 +24,12 @@ from dataclasses import dataclass
 from typing import Dict, List, Sequence
 
 from ..core.density import DensityPartitionOptimizer, DensityPartitionPoint
+from ..parallel import SweepResult, SweepTask, sweep
 from ..workloads.macro import MACRO_WORKLOADS
 
-__all__ = ["Fig7Series", "run_density_partition", "FIG7_WORKLOADS"]
+__all__ = ["Fig7Series", "run_density_partition",
+           "run_density_partition_suite", "FIG7_WORKLOADS",
+           "tasks", "combine"]
 
 FIG7_WORKLOADS = ("financial2", "websearch1")
 
@@ -69,6 +78,37 @@ def run_density_partition(
         working_set_area_mm2=full_area * scale,
         points=points,
     )
+
+
+def tasks(
+    workloads: Sequence[str] = FIG7_WORKLOADS,
+    area_fractions: Sequence[float] = (0.05, 0.10, 0.25, 0.50, 0.75,
+                                       1.00, 1.50, 2.00, 2.20),
+    grid_points: int = 51,
+) -> List[SweepTask]:
+    """One task per workload panel (the optimizer shares its popularity
+    table across all die areas, so the panel is the natural unit)."""
+    return [SweepTask(key=f"fig7:{workload}", fn=run_density_partition,
+                      kwargs={"workload": workload,
+                              "area_fractions": tuple(area_fractions),
+                              "grid_points": grid_points})
+            for workload in workloads]
+
+
+def combine(results: Sequence[SweepResult]) -> List[Fig7Series]:
+    return [result.unwrap() for result in results]
+
+
+def run_density_partition_suite(
+    workloads: Sequence[str] = FIG7_WORKLOADS,
+    area_fractions: Sequence[float] = (0.05, 0.10, 0.25, 0.50, 0.75,
+                                       1.00, 1.50, 2.00, 2.20),
+    grid_points: int = 51,
+    workers: int = 1,
+) -> List[Fig7Series]:
+    """All Figure 7 panels, in workload order."""
+    return combine(sweep(tasks(workloads, area_fractions, grid_points),
+                         workers=workers))
 
 
 def main() -> None:

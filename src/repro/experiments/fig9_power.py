@@ -15,20 +15,36 @@ holding or improving bandwidth.
 All capacities and footprints are scaled down by a common divisor for
 simulation speed; power *ratios* survive scaling because busy fractions
 and hit rates are preserved.
+
+Seed discipline: the power delta must isolate the architecture, not
+workload noise, so **both platform arms replay byte-identical traces** —
+the same measurement stream (built from the experiment seed) and the
+same warmup stream (built from one seed derived via
+:func:`repro.parallel.derive_seed`, shared by both arms; warmup and
+measurement use distinct streams so the steady state is not a literal
+replay of the cache contents).  The arm tasks therefore carry *equal*
+seeds on purpose; deriving per-arm seeds here would silently put the two
+bars on different workloads.
+
+Spawn-safety: each arm is one task; the worker rebuilds its workload
+streams and platform from picklable primitives, and ``FIG9_CONFIGS`` is
+a registry of frozen dataclasses nothing mutates.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import Dict, List
+from typing import Dict, List, Sequence
 
 from ..core.hierarchy import DramOnlySystem, SystemConfig, build_flash_system
+from ..parallel import SweepResult, SweepTask, derive_seed, sweep
 from ..power.models import PowerBreakdown
 from ..sim.engine import SimulationReport, run_trace
 from ..workloads.macro import build_workload
 from ..workloads.trace import PAGE_BYTES
 
-__all__ = ["Fig9Config", "Fig9Result", "FIG9_CONFIGS", "run_power_comparison"]
+__all__ = ["Fig9Config", "Fig9Result", "FIG9_CONFIGS",
+           "run_power_comparison", "tasks", "combine"]
 
 
 @dataclass(frozen=True)
@@ -80,47 +96,97 @@ class Fig9Result:
                 / max(self.baseline.throughput_rps, 1e-9))
 
 
-def run_power_comparison(workload: str = "dbt2",
-                         scale_divisor: int = 64,
-                         num_records: int = 150_000,
-                         warmup_records: int = 100_000,
-                         seed: int = 13) -> Fig9Result:
-    """Run one Figure 9 panel (both platform configurations).
+def warmup_seed(seed: int) -> int:
+    """The warmup stream's seed, shared by both platform arms.
 
-    Each platform first replays ``warmup_records`` to populate its caches,
-    then resets the time/energy accounting and measures the steady state —
-    the regime Figure 9 reports.
+    Derived (not ``seed + 1``) so it cannot collide with another
+    experiment's measurement stream, and computed once from the
+    experiment seed so every arm warms up on the identical trace.
+    """
+    return derive_seed(seed, "fig9:warmup")
+
+
+def _arm_task(workload: str, arm: str, scale_divisor: int,
+              num_records: int, warmup_records: int,
+              seed: int) -> PowerBreakdown:
+    """Worker entry point: one platform arm of one Figure 9 panel.
+
+    The platform first replays the warmup stream to populate its caches,
+    then resets the time/energy accounting and measures the steady state
+    on the measurement stream — the regime Figure 9 reports.  Both arms
+    receive the same ``seed``, so both build byte-identical streams.
     """
     config = FIG9_CONFIGS[workload]
     footprint_pages = max(config.footprint_bytes // scale_divisor
                           // PAGE_BYTES, 1)
     warmup = build_workload(config.workload, num_records=warmup_records,
-                            seed=seed + 1, footprint_pages=footprint_pages)
+                            seed=warmup_seed(seed),
+                            footprint_pages=footprint_pages)
     records = build_workload(config.workload, num_records=num_records,
                              seed=seed, footprint_pages=footprint_pages)
+    if arm == "baseline":
+        system = DramOnlySystem(SystemConfig(
+            dram_bytes=max(config.baseline_dram_bytes // scale_divisor,
+                           PAGE_BYTES),
+            power_model_dram_bytes=config.baseline_dram_bytes))
+    elif arm == "flash":
+        system = build_flash_system(
+            dram_bytes=max(config.flash_dram_bytes // scale_divisor,
+                           PAGE_BYTES),
+            flash_bytes=max(config.flash_bytes // scale_divisor, 1 << 20),
+            power_model_dram_bytes=config.flash_dram_bytes,
+        )
+    else:
+        raise ValueError(f"unknown arm {arm!r}")
+    system.run(warmup)
+    system.reset_measurement()
+    report: SimulationReport = run_trace(system, records)
+    return report.power
 
-    baseline_system = DramOnlySystem(SystemConfig(
-        dram_bytes=max(config.baseline_dram_bytes // scale_divisor,
-                       PAGE_BYTES),
-        power_model_dram_bytes=config.baseline_dram_bytes))
-    baseline_system.run(warmup)
-    baseline_system.reset_measurement()
-    baseline_report: SimulationReport = run_trace(baseline_system, records)
 
-    flash_system = build_flash_system(
-        dram_bytes=max(config.flash_dram_bytes // scale_divisor, PAGE_BYTES),
-        flash_bytes=max(config.flash_bytes // scale_divisor, 1 << 20),
-        power_model_dram_bytes=config.flash_dram_bytes,
-    )
-    flash_system.run(warmup)
-    flash_system.reset_measurement()
-    flash_report = run_trace(flash_system, records)
+def tasks(workload: str = "dbt2",
+          scale_divisor: int = 64,
+          num_records: int = 150_000,
+          warmup_records: int = 100_000,
+          seed: int = 13) -> List[SweepTask]:
+    """One Figure 9 panel as two arm tasks.
 
+    Both tasks carry the *same* seed by design — see the module
+    docstring's seed discipline.
+    """
+    return [
+        SweepTask(key=f"fig9:{workload}:{arm}", fn=_arm_task,
+                  kwargs={"workload": workload, "arm": arm,
+                          "scale_divisor": scale_divisor,
+                          "num_records": num_records,
+                          "warmup_records": warmup_records,
+                          "seed": seed})
+        for arm in ("baseline", "flash")
+    ]
+
+
+def combine(results: Sequence[SweepResult]) -> Fig9Result:
+    """Assemble one panel's two arm results into the figure row."""
+    by_arm = {result.key.rsplit(":", 1)[1]: result.unwrap()
+              for result in results}
+    workload = results[0].key.split(":")[1]
     return Fig9Result(
         workload=workload,
-        baseline=baseline_report.power,
-        flash=flash_report.power,
+        baseline=by_arm["baseline"],
+        flash=by_arm["flash"],
     )
+
+
+def run_power_comparison(workload: str = "dbt2",
+                         scale_divisor: int = 64,
+                         num_records: int = 150_000,
+                         warmup_records: int = 100_000,
+                         seed: int = 13,
+                         workers: int = 1) -> Fig9Result:
+    """Run one Figure 9 panel (both platform configurations)."""
+    return combine(sweep(
+        tasks(workload, scale_divisor, num_records, warmup_records, seed),
+        workers=workers))
 
 
 def main() -> None:

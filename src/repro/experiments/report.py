@@ -15,7 +15,7 @@ from typing import Callable, Dict, List
 from .fig1b_gc import run_gc_overhead_sweep
 from .fig4_split import run_split_sweep
 from .fig6_ecc import run_decode_latency_series, run_tolerable_cycles_series
-from .fig7_density import run_density_partition
+from .fig7_density import run_density_partition_suite
 from .fig9_power import run_power_comparison
 from .fig10_ecc_throughput import run_ecc_throughput_sweep
 from .fig11_reconfig import run_reconfig_breakdown
@@ -44,69 +44,82 @@ class ReportScale:
                    aging_blocks=16, aging_frames=8)
 
 
-def _section_fig1b(out: io.StringIO, scale: ReportScale) -> None:
+def _section_fig1b(out: io.StringIO, scale: ReportScale,
+                   workers: int = 1) -> None:
     out.write("| used | normalized GC overhead |\n|---|---|\n")
     for point in run_gc_overhead_sweep(
             occupancies=(0.1, 0.3, 0.5, 0.7, 0.8, 0.9),
-            flash_blocks=16 if scale.scale_divisor > 64 else 32):
+            flash_blocks=16 if scale.scale_divisor > 64 else 32,
+            workers=workers):
         out.write(f"| {point.used_fraction:.0%} "
                   f"| {point.normalized_overhead:.2f} |\n")
 
 
-def _section_fig4(out: io.StringIO, scale: ReportScale) -> None:
+def _section_fig4(out: io.StringIO, scale: ReportScale,
+                  workers: int = 1) -> None:
     out.write("| flash | unified miss | split miss |\n|---|---|---|\n")
     for point in run_split_sweep(flash_sizes_mb=(128, 384, 640),
                                  scale_divisor=scale.scale_divisor,
-                                 num_records=scale.trace_records * 5):
+                                 num_records=scale.trace_records * 5,
+                                 workers=workers):
         out.write(f"| {point.flash_mb_paper_scale}MB "
                   f"| {point.unified_miss_rate:.3%} "
                   f"| {point.split_miss_rate:.3%} |\n")
 
 
-def _section_fig6(out: io.StringIO, scale: ReportScale) -> None:
+def _section_fig6(out: io.StringIO, scale: ReportScale,
+                  workers: int = 1) -> None:
     out.write("Decode latency (us): ")
-    out.write(", ".join(f"t={p.t}:{p.total_us:.0f}"
-                        for p in run_decode_latency_series((2, 5, 8, 11))))
+    out.write(", ".join(
+        f"t={p.t}:{p.total_us:.0f}"
+        for p in run_decode_latency_series((2, 5, 8, 11), workers=workers)))
     out.write("\n\nTolerable W/E cycles at t=10: ")
-    series = run_tolerable_cycles_series(t_values=(0, 10))
+    series = run_tolerable_cycles_series(t_values=(0, 10), workers=workers)
     out.write(", ".join(f"stdev {frac:.0%}: {points[-1][1]:.2e}"
                         for frac, points in series.items()))
     out.write("\n")
 
 
-def _section_fig7(out: io.StringIO, scale: ReportScale) -> None:
-    for workload in ("financial2", "websearch1"):
-        series = run_density_partition(
-            workload, area_fractions=(0.25, 0.5, 1.0, 2.0), grid_points=41)
-        out.write(f"\n**{workload}** (WSS {series.working_set_mb:.0f}MB): ")
+def _section_fig7(out: io.StringIO, scale: ReportScale,
+                  workers: int = 1) -> None:
+    for series in run_density_partition_suite(
+            workloads=("financial2", "websearch1"),
+            area_fractions=(0.25, 0.5, 1.0, 2.0), grid_points=41,
+            workers=workers):
+        out.write(f"\n**{series.workload}** "
+                  f"(WSS {series.working_set_mb:.0f}MB): ")
         out.write(", ".join(
             f"{p.die_area_mm2:.0f}mm2->{p.optimal_slc_fraction:.0%} SLC "
             f"@{p.average_latency_us:.0f}us" for p in series.points))
         out.write("\n")
 
 
-def _section_fig9(out: io.StringIO, scale: ReportScale) -> None:
+def _section_fig9(out: io.StringIO, scale: ReportScale,
+                  workers: int = 1) -> None:
     out.write("| workload | baseline W | flash W | ratio | rel. bw |\n"
               "|---|---|---|---|---|\n")
     for workload in ("dbt2", "specweb99"):
         result = run_power_comparison(
             workload, scale_divisor=scale.scale_divisor,
             num_records=scale.trace_records,
-            warmup_records=max(scale.trace_records * 2 // 3, 10_000))
+            warmup_records=max(scale.trace_records * 2 // 3, 10_000),
+            workers=workers)
         out.write(f"| {workload} | {result.baseline.total_w:.2f} "
                   f"| {result.flash.total_w:.2f} "
                   f"| {result.power_ratio:.2f}x "
                   f"| {result.relative_bandwidth:.2f} |\n")
 
 
-def _section_fig10(out: io.StringIO, scale: ReportScale) -> None:
+def _section_fig10(out: io.StringIO, scale: ReportScale,
+                   workers: int = 1) -> None:
     out.write("| t | specweb99 | dbt2 |\n|---|---|---|\n")
     sweeps = {
         name: {p.strength: p.relative_bandwidth
                for p in run_ecc_throughput_sweep(
                    name, strengths=(0, 5, 15, 50),
                    scale_divisor=scale.scale_divisor,
-                   num_records=max(scale.trace_records // 3, 20_000))}
+                   num_records=max(scale.trace_records // 3, 20_000),
+                   workers=workers)}
         for name in ("specweb99", "dbt2")
     }
     for t in (0, 5, 15, 50):
@@ -114,18 +127,22 @@ def _section_fig10(out: io.StringIO, scale: ReportScale) -> None:
                   f"| {sweeps['dbt2'][t]:.3f} |\n")
 
 
-def _section_fig11(out: io.StringIO, scale: ReportScale) -> None:
+def _section_fig11(out: io.StringIO, scale: ReportScale,
+                   workers: int = 1) -> None:
     out.write("| workload | code strength | density |\n|---|---|---|\n")
     for row in run_reconfig_breakdown(
             num_blocks=scale.aging_blocks,
-            frames_per_block=scale.aging_frames):
+            frames_per_block=scale.aging_frames,
+            workers=workers):
         out.write(f"| {row.workload} | {row.code_strength_fraction:.0%} "
                   f"| {row.density_fraction:.0%} |\n")
 
 
-def _section_fig12(out: io.StringIO, scale: ReportScale) -> None:
+def _section_fig12(out: io.StringIO, scale: ReportScale,
+                   workers: int = 1) -> None:
     rows = run_lifetime_comparison(num_blocks=scale.aging_blocks,
-                                   frames_per_block=scale.aging_frames)
+                                   frames_per_block=scale.aging_frames,
+                                   workers=workers)
     out.write("| workload | gain |\n|---|---|\n")
     for row in rows:
         out.write(f"| {row.workload} | {row.improvement:.1f}x |\n")
@@ -133,7 +150,7 @@ def _section_fig12(out: io.StringIO, scale: ReportScale) -> None:
               "(paper: ~20x)\n")
 
 
-SECTIONS: Dict[str, Callable[[io.StringIO, ReportScale], None]] = {
+SECTIONS: Dict[str, Callable[..., None]] = {
     "fig1b": _section_fig1b,
     "fig4": _section_fig4,
     "fig6": _section_fig6,
@@ -157,8 +174,14 @@ _TITLES = {
 
 
 def generate_report(scale: ReportScale | None = None,
-                    sections: List[str] | None = None) -> str:
-    """Render the evaluation report as markdown."""
+                    sections: List[str] | None = None,
+                    workers: int = 1) -> str:
+    """Render the evaluation report as markdown.
+
+    ``workers > 1`` fans each section's grid out across processes via
+    :func:`repro.parallel.sweep`; the rendered report is byte-identical
+    to a serial run (modulo the wall-clock footnotes).
+    """
     scale = scale or ReportScale()
     selected = sections or list(SECTIONS)
     unknown = set(selected) - set(SECTIONS)
@@ -171,6 +194,6 @@ def generate_report(scale: ReportScale | None = None,
     for name in selected:
         started = time.time()
         out.write(f"\n## {_TITLES[name]}\n\n")
-        SECTIONS[name](out, scale)
+        SECTIONS[name](out, scale, workers=workers)
         out.write(f"\n_({time.time() - started:.1f}s)_\n")
     return out.getvalue()

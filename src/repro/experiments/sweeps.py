@@ -1,0 +1,228 @@
+"""Named sweep grids behind ``repro sweep --workers N``.
+
+Each figure's ``tasks()``/``combine()`` pair (see the ``fig*`` modules)
+is registered here with a builder that sizes its grid from a
+:class:`~repro.experiments.report.ReportScale` and a combiner that
+reduces the ordered :class:`~repro.parallel.SweepResult` list to plain
+JSON-ready data.  ``repro sweep`` flattens the selected grids into one
+task list, fans it out through :func:`repro.parallel.sweep`, and writes
+the aggregated document — so a 4-worker run of the full selection
+produces byte-identical JSON to ``--workers 1``.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import asdict, dataclass
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..parallel import SweepResult, SweepTask, sweep
+from . import (
+    fig1b_gc,
+    fig4_split,
+    fig6_ecc,
+    fig7_density,
+    fig9_power,
+    fig10_ecc_throughput,
+    fig11_reconfig,
+    fig12_lifetime,
+)
+from .report import ReportScale
+
+__all__ = ["SweepSpec", "SWEEPS", "run_sweep"]
+
+
+@dataclass(frozen=True)
+class SweepSpec:
+    """One registered grid: scale-aware builder plus JSON combiner."""
+
+    name: str
+    description: str
+    build: Callable[[ReportScale], List[SweepTask]]
+    combine: Callable[[Sequence[SweepResult]], Any]
+
+
+def _fig1b_build(scale: ReportScale) -> List[SweepTask]:
+    return fig1b_gc.tasks(
+        occupancies=(0.1, 0.3, 0.5, 0.7, 0.8, 0.9),
+        flash_blocks=16 if scale.scale_divisor > 64 else 32)
+
+
+def _fig1b_combine(results: Sequence[SweepResult]) -> Any:
+    return [asdict(point) for point in fig1b_gc.combine(results)]
+
+
+def _fig4_build(scale: ReportScale) -> List[SweepTask]:
+    return fig4_split.tasks(flash_sizes_mb=(128, 384, 640),
+                            scale_divisor=scale.scale_divisor,
+                            num_records=scale.trace_records * 5)
+
+
+def _fig4_combine(results: Sequence[SweepResult]) -> Any:
+    return [asdict(point) for point in fig4_split.combine(results)]
+
+
+def _fig6_build(scale: ReportScale) -> List[SweepTask]:
+    return fig6_ecc.tasks()
+
+
+def _fig6_combine(results: Sequence[SweepResult]) -> Any:
+    combined = fig6_ecc.combine(results)
+    return {
+        "decode_latency": [asdict(p) for p in combined["decode_latency"]],
+        "tolerable_cycles": {
+            str(stdev): [[t, cycles] for t, cycles in points]
+            for stdev, points in combined["tolerable_cycles"].items()},
+    }
+
+
+def _fig7_build(scale: ReportScale) -> List[SweepTask]:
+    return fig7_density.tasks(area_fractions=(0.25, 0.5, 1.0, 2.0),
+                              grid_points=41)
+
+
+def _fig7_combine(results: Sequence[SweepResult]) -> Any:
+    return [asdict(series) for series in fig7_density.combine(results)]
+
+
+def _fig9_build(scale: ReportScale) -> List[SweepTask]:
+    tasks: List[SweepTask] = []
+    for workload in ("dbt2", "specweb99"):
+        tasks.extend(fig9_power.tasks(
+            workload, scale_divisor=scale.scale_divisor,
+            num_records=scale.trace_records,
+            warmup_records=max(scale.trace_records * 2 // 3, 10_000)))
+    return tasks
+
+
+def _group(results: Sequence[SweepResult],
+           panel: Callable[[SweepResult], str]) -> Dict[str, List[SweepResult]]:
+    """Partition a flattened grid back into per-panel result lists,
+    preserving task order within each panel."""
+    panels: Dict[str, List[SweepResult]] = {}
+    for result in results:
+        panels.setdefault(panel(result), []).append(result)
+    return panels
+
+
+def _fig9_combine(results: Sequence[SweepResult]) -> Any:
+    panels = _group(results, lambda r: r.key.split(":")[1])
+    out = {}
+    for workload, panel_results in panels.items():
+        combined = fig9_power.combine(panel_results)
+        out[workload] = {
+            "baseline": combined.baseline.as_dict(),
+            "flash": combined.flash.as_dict(),
+            "power_ratio": combined.power_ratio,
+            "relative_bandwidth": combined.relative_bandwidth,
+        }
+    return out
+
+
+def _fig10_build(scale: ReportScale) -> List[SweepTask]:
+    tasks: List[SweepTask] = []
+    for workload in ("specweb99", "dbt2"):
+        tasks.extend(fig10_ecc_throughput.tasks(
+            workload, strengths=(0, 5, 15, 50),
+            scale_divisor=scale.scale_divisor,
+            num_records=max(scale.trace_records // 3, 20_000)))
+    return tasks
+
+
+def _fig10_combine(results: Sequence[SweepResult]) -> Any:
+    panels = _group(results, lambda r: r.key.split(":")[1])
+    return {workload: [asdict(p)
+                       for p in fig10_ecc_throughput.combine(panel_results)]
+            for workload, panel_results in panels.items()}
+
+
+def _fig11_build(scale: ReportScale) -> List[SweepTask]:
+    return fig11_reconfig.tasks(num_blocks=scale.aging_blocks,
+                                frames_per_block=scale.aging_frames)
+
+
+def _fig11_combine(results: Sequence[SweepResult]) -> Any:
+    return [asdict(row) for row in fig11_reconfig.combine(results)]
+
+
+def _fig12_build(scale: ReportScale) -> List[SweepTask]:
+    return fig12_lifetime.tasks(num_blocks=scale.aging_blocks,
+                                frames_per_block=scale.aging_frames)
+
+
+def _fig12_combine(results: Sequence[SweepResult]) -> Any:
+    rows = fig12_lifetime.combine(results)
+    return {
+        "rows": [asdict(row) for row in rows],
+        "average_improvement": fig12_lifetime.average_improvement(rows),
+    }
+
+
+SWEEPS: Dict[str, SweepSpec] = {
+    "fig1b": SweepSpec("fig1b", "GC overhead vs occupancy",
+                       _fig1b_build, _fig1b_combine),
+    "fig4": SweepSpec("fig4", "split vs unified miss rate (dbt2)",
+                      _fig4_build, _fig4_combine),
+    "fig6": SweepSpec("fig6", "BCH latency and tolerable W/E cycles",
+                      _fig6_build, _fig6_combine),
+    "fig7": SweepSpec("fig7", "optimal SLC/MLC partition",
+                      _fig7_build, _fig7_combine),
+    "fig9": SweepSpec("fig9", "power breakdown and bandwidth",
+                      _fig9_build, _fig9_combine),
+    "fig10": SweepSpec("fig10", "throughput vs BCH strength",
+                       _fig10_build, _fig10_combine),
+    "fig11": SweepSpec("fig11", "reconfiguration breakdown",
+                       _fig11_build, _fig11_combine),
+    "fig12": SweepSpec("fig12", "lifetime extension",
+                       _fig12_build, _fig12_combine),
+}
+
+
+def run_sweep(figures: Optional[Sequence[str]] = None,
+              scale: Optional[ReportScale] = None,
+              workers: int = 1,
+              progress: Optional[Callable[[SweepResult, int, int], None]]
+              = None) -> Dict[str, Any]:
+    """Run the selected figure grids as one flattened parallel sweep.
+
+    Returns a JSON-ready document: per-figure combined series plus a
+    ``meta`` block (worker count, per-figure task counts and timings,
+    and any failed task keys with their tracebacks).  A figure whose
+    tasks failed reports its error instead of aborting the others.
+    """
+    scale = scale or ReportScale()
+    selected = list(figures or SWEEPS)
+    unknown = set(selected) - set(SWEEPS)
+    if unknown:
+        raise KeyError(f"unknown sweep figures: {sorted(unknown)}; "
+                       f"known: {', '.join(SWEEPS)}")
+    grids = {name: SWEEPS[name].build(scale) for name in selected}
+    flat: List[SweepTask] = [task for name in selected
+                             for task in grids[name]]
+    started = time.perf_counter()
+    results = sweep(flat, workers=workers, progress=progress)
+    elapsed = time.perf_counter() - started
+
+    document: Dict[str, Any] = {
+        "meta": {
+            "workers": workers,
+            "scale_divisor": scale.scale_divisor,
+            "trace_records": scale.trace_records,
+            "figures": selected,
+            "tasks": len(flat),
+            "elapsed_s": round(elapsed, 3),
+            "errors": {r.key: r.error for r in results if not r.ok},
+        },
+        "figures": {},
+    }
+    cursor = 0
+    for name in selected:
+        grid = grids[name]
+        slice_results = results[cursor:cursor + len(grid)]
+        cursor += len(grid)
+        try:
+            combined = SWEEPS[name].combine(slice_results)
+        except Exception as exc:  # a failed task surfaced via unwrap()
+            combined = {"error": str(exc)}
+        document["figures"][name] = combined
+    return document

@@ -1,0 +1,49 @@
+"""``repro.parallel`` — process-pool fan-out for experiment sweeps.
+
+The paper's headline results (Figures 4, 6, 7, 10, 11, 12) are parameter
+sweeps whose configurations are independent of each other — exactly the
+"embarrassingly parallel per-configuration" structure of the design-space
+studies this literature runs.  This package fans those configurations out
+to shared-nothing worker processes while keeping results bit-identical to
+the serial path:
+
+* :func:`~repro.parallel.runner.derive_seed` — stable per-task seed
+  derivation (SHA-256 of task key + base seed), independent of
+  ``PYTHONHASHSEED``, worker count, and completion order;
+* :class:`~repro.parallel.runner.SweepTask` /
+  :class:`~repro.parallel.runner.SweepResult` — picklable task and
+  result records;
+* :func:`~repro.parallel.runner.sweep` — the runner itself: serial
+  in-process at ``workers <= 1`` (the exact code path the experiments
+  always ran), ``concurrent.futures.ProcessPoolExecutor`` beyond, with
+  ordered aggregation, failure isolation (a crashed configuration
+  becomes an error result instead of killing the sweep), and a progress
+  callback;
+* :func:`~repro.parallel.runner.merge_telemetry` — recombines per-task
+  :class:`~repro.telemetry.Telemetry` handles (histogram bucket merge,
+  counter addition, time-series concatenation) into the single handle a
+  serial run would have produced.
+
+Every ``repro.experiments.fig*`` module exposes a pure
+``tasks()``/``combine()`` pair built on these types; both the historical
+serial entry points and ``repro sweep --workers N`` consume the same
+pair, which is what makes the parallel==serial equivalence testable.
+"""
+
+from .runner import (
+    SweepError,
+    SweepResult,
+    SweepTask,
+    derive_seed,
+    merge_telemetry,
+    sweep,
+)
+
+__all__ = [
+    "SweepError",
+    "SweepResult",
+    "SweepTask",
+    "derive_seed",
+    "merge_telemetry",
+    "sweep",
+]

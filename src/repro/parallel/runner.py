@@ -1,0 +1,185 @@
+"""The sweep runner: deterministic fan-out of independent configurations.
+
+Determinism contract
+--------------------
+
+A sweep's output depends only on its task list — never on worker count,
+scheduling, or completion order:
+
+* every task carries everything its worker needs (picklable primitives
+  only); workers share no state and rebuild workloads/systems locally;
+* seeds are either passed explicitly by the experiment (tasks that must
+  replay *the same* trace share one seed — e.g. the two Figure 9
+  platform arms) or derived via :func:`derive_seed`, a stable hash of
+  the task key and a base seed (tasks that need *independent* streams);
+* results are aggregated in task order regardless of completion order.
+
+``sweep(tasks, workers=1)`` executes in-process with no executor at all,
+so the serial experiment paths run through the identical task functions
+and the parallel==serial comparison is exact, not approximate.
+"""
+
+from __future__ import annotations
+
+import hashlib
+import time
+import traceback
+from concurrent.futures import ProcessPoolExecutor, as_completed
+from dataclasses import dataclass, field
+from typing import Any, Callable, Dict, Iterable, List, Optional
+
+__all__ = [
+    "derive_seed",
+    "SweepTask",
+    "SweepResult",
+    "SweepError",
+    "sweep",
+    "merge_telemetry",
+]
+
+#: Derived seeds live in [0, 2**63): comfortably inside every RNG's seed
+#: space and unaffected by platform ``int`` quirks.
+_SEED_SPACE = 2 ** 63
+
+#: ``progress(result, done, total)`` — invoked in the parent process,
+#: once per finished task, in completion order.
+ProgressCallback = Callable[["SweepResult", int, int], None]
+
+
+def derive_seed(base_seed: int, key: str) -> int:
+    """Stable per-task seed: SHA-256 of ``"{base_seed}:{key}"``.
+
+    Unlike :func:`hash`, the value is independent of ``PYTHONHASHSEED``,
+    the interpreter, and the process, so a task keyed ``"fig6:t=4"``
+    sees the same stream whether it runs serially, on worker 0 of 2, or
+    on worker 7 of 8 — and reruns reproduce it exactly.
+    """
+    digest = hashlib.sha256(f"{base_seed}:{key}".encode("utf-8")).digest()
+    return int.from_bytes(digest[:8], "big") % _SEED_SPACE
+
+
+@dataclass(frozen=True)
+class SweepTask:
+    """One independent configuration of a sweep.
+
+    ``fn`` must be a module-level callable (workers import it by
+    qualified name) and ``kwargs`` picklable plain data.  When ``seed``
+    is set the runner injects it as ``kwargs["seed"]`` just before the
+    call; task builders that need per-task independence set
+    ``seed=derive_seed(base, key)``, builders whose configurations must
+    replay one identical trace pass the experiment seed unchanged.
+    """
+
+    key: str
+    fn: Callable[..., Any]
+    kwargs: Dict[str, Any] = field(default_factory=dict)
+    seed: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class SweepResult:
+    """Outcome of one task: a value, or an error traceback — never both."""
+
+    key: str
+    value: Any
+    error: Optional[str] = None
+    elapsed_s: float = 0.0
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
+
+    def unwrap(self) -> Any:
+        """The value, or raise :class:`SweepError` for a failed task."""
+        if self.error is not None:
+            raise SweepError(
+                f"sweep task {self.key!r} failed:\n{self.error}")
+        return self.value
+
+
+class SweepError(RuntimeError):
+    """A combiner was handed a failed task result."""
+
+
+def _execute(task: SweepTask) -> SweepResult:
+    """Run one task, trapping any failure into an error result.
+
+    This is the worker entry point: exceptions must not escape, or one
+    crashed configuration would poison the whole pool.
+    """
+    started = time.perf_counter()
+    kwargs = dict(task.kwargs)
+    if task.seed is not None:
+        kwargs["seed"] = task.seed
+    try:
+        value = task.fn(**kwargs)
+    except Exception:
+        return SweepResult(key=task.key, value=None,
+                           error=traceback.format_exc(),
+                           elapsed_s=time.perf_counter() - started)
+    return SweepResult(key=task.key, value=value,
+                       elapsed_s=time.perf_counter() - started)
+
+
+def sweep(tasks: Iterable[SweepTask], workers: int = 1,
+          progress: Optional[ProgressCallback] = None) -> List[SweepResult]:
+    """Run every task and return results **in task order**.
+
+    ``workers <= 1`` executes serially in-process (no executor, no
+    pickling); ``workers > 1`` fans out over a
+    :class:`~concurrent.futures.ProcessPoolExecutor`.  A task that
+    raises reports an error result; a worker process that dies outright
+    (OOM kill, segfault) is likewise confined to the tasks it held.
+    """
+    task_list = list(tasks)
+    keys = [task.key for task in task_list]
+    if len(set(keys)) != len(keys):
+        duplicates = sorted({k for k in keys if keys.count(k) > 1})
+        raise ValueError(f"duplicate sweep task keys: {duplicates}")
+    total = len(task_list)
+    if workers <= 1 or total <= 1:
+        results: List[SweepResult] = []
+        for task in task_list:
+            result = _execute(task)
+            results.append(result)
+            if progress is not None:
+                progress(result, len(results), total)
+        return results
+
+    slots: List[Optional[SweepResult]] = [None] * total
+    done = 0
+    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
+        futures = {pool.submit(_execute, task): index
+                   for index, task in enumerate(task_list)}
+        for future in as_completed(futures):
+            index = futures[future]
+            try:
+                result = future.result()
+            except BaseException as exc:  # e.g. BrokenProcessPool
+                result = SweepResult(key=task_list[index].key, value=None,
+                                     error=f"worker died: {exc!r}")
+            slots[index] = result
+            done += 1
+            if progress is not None:
+                progress(result, done, total)
+    return [result for result in slots if result is not None]
+
+
+def merge_telemetry(handles: Iterable[Any]) -> Optional[Any]:
+    """Fold per-task :class:`~repro.telemetry.Telemetry` handles into one.
+
+    Counters add, histograms merge bucket-wise, time-series concatenate
+    in task order — the aggregate a serial run sharing a single handle
+    across the same tasks would have produced.  ``None`` entries are
+    skipped; returns ``None`` when nothing was observed.
+    """
+    from ..telemetry import Telemetry
+
+    merged: Optional[Telemetry] = None
+    for handle in handles:
+        if handle is None:
+            continue
+        if merged is None:
+            merged = Telemetry(sample_interval=handle.sample_interval)
+        merged.merge(handle)
+    return merged

@@ -141,16 +141,30 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
         process = system.process
         maybe_sample = sampler.maybe_sample
         # Track trace position locally (one request per expanded page)
-        # rather than reading the stats property back per record.
-        position = 0
+        # rather than reading the stats property back per record.  The
+        # counter starts from the system's running request count — not
+        # zero — so a system that already processed records (a warmup
+        # phase, a previous run_trace call) keeps one continuous x axis.
+        position = system.stats.requests
         for record in records:
             process(record)
             position += record.pages
             if position >= sampler.next_at:
                 maybe_sample(position)
+        # ``system.stats.requests`` is the single source of truth for the
+        # report; the local counter is only a cheap mirror of it.  If the
+        # two ever disagree, the time-series x coordinates no longer line
+        # up with the reported request counts — fail loudly rather than
+        # emit silently skewed telemetry.
+        processed = system.stats.requests
+        if position != processed:
+            raise RuntimeError(
+                f"trace position counter ({position}) drifted from the "
+                f"system request count ({processed}); a record expanded "
+                f"to a different number of requests than record.pages")
         # Close every series with the end-of-trace state so a short trace
         # still yields at least one point per signal.
-        sampler.finalize(system.stats.requests)
+        sampler.finalize(processed)
     flash_stats = None
     controller_stats = None
     fault_stats = None

@@ -112,6 +112,22 @@ class Telemetry:
             existing = self.timeseries[name] = TimeSeries(name)
         return existing
 
+    # -- merging (parallel sweep aggregation) ----------------------------------
+
+    def merge(self, other: "Telemetry") -> None:
+        """Fold another handle's observations into this one.
+
+        Counters add, histograms merge bucket-wise, and time-series
+        concatenate in call order — so merging the per-task handles of a
+        parallel sweep (in task order) reproduces exactly the aggregate
+        a serial run sharing one handle across those tasks would hold.
+        Pre-bound instruments (``read_latency`` etc.) alias registry
+        entries by name, so the registry merge updates them in place.
+        """
+        self.metrics.merge(other.metrics)
+        for name, series in other.timeseries.items():
+            self.series(name).extend(series)
+
     # -- bus plumbing ----------------------------------------------------------
 
     def _publish(self, kind: EventKind, source: str,

@@ -162,6 +162,56 @@ class LatencyHistogram:
         if high > self._max:
             self._max = high
 
+    # -- pickling (parallel sweep workers return histograms) ---------------------
+    # The pending buffer holds a pre-bound ``list.append``; drain it and
+    # drop both from the pickled state so the wire format is the folded
+    # bucket counts only.
+
+    def __getstate__(self) -> dict:
+        self._drain()
+        return {"name": self.name, "edges": self.edges,
+                "counts": self._counts, "overflow": self._overflow,
+                "count": self._count, "total": self._total,
+                "min": self._min, "max": self._max}
+
+    def __setstate__(self, state: dict) -> None:
+        self.name = state["name"]
+        self.edges = state["edges"]
+        self._counts = state["counts"]
+        self._overflow = state["overflow"]
+        self._count = state["count"]
+        self._total = state["total"]
+        self._min = state["min"]
+        self._max = state["max"]
+        self._pending = []
+        self._push = self._pending.append
+
+    # -- merging (parallel sweep aggregation) ------------------------------------
+
+    def merge(self, other: "LatencyHistogram") -> None:
+        """Fold ``other``'s samples into this histogram, bucket-wise.
+
+        Merging per-worker histograms is exact — bucket counts, totals,
+        and min/max add losslessly, so percentiles of the merged
+        histogram equal those of a single histogram that observed every
+        sample — provided both sides share one bucket ladder.
+        """
+        if other.edges != self.edges:
+            raise ValueError(
+                f"cannot merge histograms with different bucket edges "
+                f"({self.name!r} vs {other.name!r})")
+        self._drain()
+        other._drain()
+        for index, bucket in enumerate(other._counts):
+            self._counts[index] += bucket
+        self._overflow += other._overflow
+        self._count += other._count
+        self._total += other._total
+        if other._min < self._min:
+            self._min = other._min
+        if other._max > self._max:
+            self._max = other._max
+
     # -- read side: every accessor drains first ---------------------------------
 
     @property
@@ -285,6 +335,22 @@ class MetricsRegistry:
             instrument = self.histograms[name] = LatencyHistogram(
                 name, edges or DEFAULT_LATENCY_BUCKETS_US)
         return instrument
+
+    def merge(self, other: "MetricsRegistry") -> None:
+        """Fold another registry into this one (parallel sweep merge).
+
+        Counters add; histograms merge bucket-wise (see
+        :meth:`LatencyHistogram.merge`); gauges are last-write
+        instantaneous values, so the incoming reading wins — callers
+        merging in task order get the final task's gauge, matching what
+        a serial run sharing one registry would have left behind.
+        """
+        for name, counter in other.counters.items():
+            self.counter(name).value += counter.value
+        for name, gauge in other.gauges.items():
+            self.gauge(name).value = gauge.value
+        for name, histogram in other.histograms.items():
+            self.histogram(name, histogram.edges).merge(histogram)
 
     def as_dict(self) -> Dict[str, Dict]:
         """Plain-data snapshot (the JSON exporter's payload)."""

@@ -31,6 +31,17 @@ class TimeSeries:
         self.xs.append(x)
         self.ys.append(y)
 
+    def extend(self, other: "TimeSeries") -> None:
+        """Concatenate ``other``'s points after this series' own.
+
+        The parallel sweep merge appends per-task series in task order;
+        x values are per-task trace positions, so a merged series reads
+        as consecutive segments, one per task, exactly as a serial run
+        appending into one shared series would have written them.
+        """
+        self.xs.extend(other.xs)
+        self.ys.extend(other.ys)
+
     def __len__(self) -> int:
         return len(self.xs)
 
