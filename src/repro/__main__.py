@@ -15,6 +15,9 @@ Commands
 ``sweep``                  run figure grids through the parallel sweep
                            runner and emit one aggregated JSON document
                            (``--workers N``, ``--figures``, ``--out``)
+``lint [paths...]``        run simlint, the AST-based invariant linter
+                           (``--format json``, ``--baseline``,
+                           ``--list-rules``; see DESIGN.md section 10)
 ``profile <trace.spc>``    characterise a (UMass SPC) disk trace
 ``run <trace.spc>``        replay a trace through the Flash hierarchy,
                            optionally with injected faults
@@ -103,6 +106,12 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-task progress lines")
 
+    lint = sub.add_parser(
+        "lint", help="run simlint, the determinism/spawn-safety/unit "
+                     "invariant linter")
+    from .analysis.cli import add_lint_arguments
+    add_lint_arguments(lint)
+
     profile = sub.add_parser("profile", help="characterise an SPC trace")
     profile.add_argument("path")
     profile.add_argument("--limit", type=int, default=None,
@@ -175,6 +184,9 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _sweep_command(args)
+    if args.command == "lint":
+        from .analysis.cli import run_lint_command
+        return run_lint_command(args)
     if args.command == "profile":
         records = records_from_spc_file(args.path, limit=args.limit)
         print(profile_trace(records).summary())

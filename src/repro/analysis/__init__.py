@@ -1,0 +1,63 @@
+"""repro.analysis — simlint, the simulator's invariant linter.
+
+An AST-based static-analysis pass enforcing the determinism, spawn
+safety, and unit discipline the reproduction's figures depend on.  See
+DESIGN.md section 10 for the rule rationale and ``repro lint
+--list-rules`` for the battery.
+
+Public surface::
+
+    from repro.analysis import lint_paths, all_rules, Finding
+
+    result = lint_paths(["src"])       # -> LintResult
+    for finding in result.findings:
+        print(finding.path, finding.line, finding.rule, finding.message)
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Iterable, Union
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import (
+    Finding,
+    LintEngine,
+    LintResult,
+    ModuleContext,
+    Project,
+    Rule,
+)
+from .reporters import render_json, render_text
+from .rules import RULES, all_rules
+
+__all__ = [
+    "Finding",
+    "LintEngine",
+    "LintResult",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "RULES",
+    "all_rules",
+    "lint_paths",
+    "DEFAULT_BASELINE",
+    "load_baseline",
+    "write_baseline",
+    "apply_baseline",
+    "render_text",
+    "render_json",
+]
+
+
+def lint_paths(paths: Iterable[Union[str, Path]],
+               root: Union[str, Path, None] = None) -> LintResult:
+    """Run the full rule battery over *paths* and return the result."""
+    engine = LintEngine(all_rules(),
+                        root=Path(root) if root is not None else None)
+    return engine.run(Path(p) for p in paths)

@@ -1,0 +1,82 @@
+"""Baseline handling: checked-in debt, distinguished from decisions.
+
+A baseline file records findings that predate a rule and have been
+consciously grandfathered rather than fixed.  Matching is by
+``(rule, path, message)`` with multiplicity — line numbers drift with
+every edit, messages only change when the finding itself does — so a
+baselined finding stays suppressed across unrelated refactors but a
+*new* instance of the same rule in the same file still fails the build
+once the recorded count is exhausted.
+
+The committed baseline (``.simlint-baseline.json`` at the repo root) is
+empty: every finding the first full run raised was fixed or pragma'd
+with a justification.  Keep it that way; ``--write-baseline`` exists
+for emergencies, and every entry it writes should come with a DESIGN.md
+note explaining why the debt was taken.
+"""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from pathlib import Path
+from typing import Dict, List, Tuple
+
+from .engine import Finding
+
+__all__ = ["DEFAULT_BASELINE", "load_baseline", "write_baseline",
+           "apply_baseline"]
+
+DEFAULT_BASELINE = ".simlint-baseline.json"
+
+_Key = Tuple[str, str, str]
+
+
+def load_baseline(path: Path) -> Counter:
+    """Read a baseline file into a multiset of finding keys.
+
+    A missing file is an empty baseline (so ``--baseline`` is safe to
+    pass unconditionally in CI); a malformed one raises.
+    """
+    if not path.exists():
+        return Counter()
+    document = json.loads(path.read_text(encoding="utf-8"))
+    if document.get("version") != 1:
+        raise ValueError(f"unsupported baseline version in {path}")
+    counts: Counter = Counter()
+    for entry in document.get("findings", []):
+        key = (entry["rule"], entry["path"], entry["message"])
+        counts[key] += int(entry.get("count", 1))
+    return counts
+
+
+def write_baseline(path: Path, findings: List[Finding]) -> int:
+    """Write the current findings as the new baseline; returns #entries."""
+    counts: Counter = Counter(f.baseline_key for f in findings)
+    entries: List[Dict[str, object]] = []
+    for (rule, relpath, message), count in sorted(counts.items()):
+        entry: Dict[str, object] = {
+            "rule": rule, "path": relpath, "message": message}
+        if count > 1:
+            entry["count"] = count
+        entries.append(entry)
+    document = {"version": 1, "findings": entries}
+    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
+                    encoding="utf-8")
+    return len(entries)
+
+
+def apply_baseline(findings: List[Finding],
+                   baseline: Counter) -> Tuple[List[Finding], int]:
+    """Split findings into (fresh, suppressed-count) against a baseline."""
+    budget = Counter(baseline)
+    fresh: List[Finding] = []
+    suppressed = 0
+    for finding in findings:
+        key = finding.baseline_key
+        if budget[key] > 0:
+            budget[key] -= 1
+            suppressed += 1
+        else:
+            fresh.append(finding)
+    return fresh, suppressed

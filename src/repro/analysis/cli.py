@@ -1,0 +1,101 @@
+"""``repro lint`` — run the simlint battery from the command line.
+
+Exit status: 0 when no error-severity findings remain after pragma and
+baseline suppression (warnings report but do not fail unless
+``--strict``); 1 when errors remain; 2 on usage errors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from pathlib import Path
+from typing import List, Optional
+
+from .baseline import (
+    DEFAULT_BASELINE,
+    apply_baseline,
+    load_baseline,
+    write_baseline,
+)
+from .engine import LintEngine
+from .reporters import render_json, render_text
+from .rules import all_rules
+
+__all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+
+def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument("paths", nargs="*", default=["src"],
+                        help="files or directories to lint (default: src)")
+    parser.add_argument("--format", choices=("text", "json"),
+                        default="text", help="output format")
+    parser.add_argument("--out", default=None, metavar="PATH",
+                        help="write the report here instead of stdout")
+    parser.add_argument("--baseline", nargs="?", const=DEFAULT_BASELINE,
+                        default=None, metavar="PATH",
+                        help="suppress findings recorded in the baseline "
+                             f"file (default path: {DEFAULT_BASELINE}; a "
+                             "missing file is an empty baseline)")
+    parser.add_argument("--write-baseline", nargs="?",
+                        const=DEFAULT_BASELINE, default=None,
+                        metavar="PATH",
+                        help="record the current findings as the new "
+                             "baseline and exit 0")
+    parser.add_argument("--strict", action="store_true",
+                        help="treat warnings as failures")
+    parser.add_argument("--list-rules", action="store_true",
+                        help="print the rule battery and exit")
+
+
+def run_lint_command(args: argparse.Namespace) -> int:
+    rules = all_rules()
+    if args.list_rules:
+        for rule in rules:
+            print(f"{rule.code}  {rule.severity:7s} {rule.name}: "
+                  f"{rule.description}")
+        return 0
+
+    paths = [Path(p) for p in args.paths]
+    missing = [p for p in paths if not p.exists()]
+    if missing:
+        print(f"simlint: no such path: {missing[0]}", file=sys.stderr)
+        return 2
+    engine = LintEngine(rules, root=Path.cwd())
+    result = engine.run(paths)
+    findings = result.findings
+    suppressed = result.suppressed
+
+    if args.write_baseline is not None:
+        entries = write_baseline(Path(args.write_baseline), findings)
+        print(f"simlint: wrote {entries} baseline entries to "
+              f"{args.write_baseline}")
+        return 0
+
+    if args.baseline is not None:
+        baseline = load_baseline(Path(args.baseline))
+        findings, baselined = apply_baseline(findings, baseline)
+        suppressed += baselined
+
+    renderer = render_json if args.format == "json" else render_text
+    report = renderer(findings, result.files, suppressed)
+    if args.out is not None:
+        Path(args.out).write_text(report + "\n", encoding="utf-8")
+    else:
+        print(report)
+
+    failing = [f for f in findings
+               if f.severity == "error" or args.strict]
+    return 1 if failing else 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="simlint",
+        description="AST-based invariant linter for the repro simulator")
+    add_lint_arguments(parser)
+    return run_lint_command(parser.parse_args(argv))
+
+
+if __name__ == "__main__":  # pragma: no cover
+    raise SystemExit(main())

@@ -1,0 +1,388 @@
+"""The simlint engine: parsing, name resolution, pragmas, rule driving.
+
+simlint is a domain-specific static-analysis pass over the simulator's
+own source.  It exists because the reproduction's headline claims are
+only trustworthy while runs stay bit-deterministic, and the mistakes
+that break determinism (wall-clock reads, unseeded RNGs, hash-order
+dependence) or its bookkeeping (unit mixing, dead counters, swallowed
+degradation errors) are *textually recognisable* long before they show
+up as a drifted figure.
+
+The engine is deliberately self-contained: it walks :mod:`ast` directly
+(no flake8/pylint plugin machinery), resolves imports just well enough
+to track aliases (``import numpy as np``, ``from random import Random``,
+relative imports), and hands each rule a :class:`ModuleContext` per file
+plus a whole-:class:`Project` finalize pass for cross-file rules such as
+the dead-counter detector.
+
+Suppression
+-----------
+
+A finding is suppressed by a pragma comment on the finding's line, or on
+a standalone comment line immediately above it::
+
+    started = time.perf_counter()  # simlint: ignore[SIM001] -- orchestration
+
+    # simlint: ignore[SIM002] -- legacy stream, see DESIGN.md section 10
+    rng = Random(seed * 31)
+
+Multiple codes separate with commas (``ignore[SIM001,SIM005]``); the
+text after ``--`` is a free-form justification (encouraged, unchecked).
+Grandfathered findings can instead live in a checked-in baseline file
+(see :mod:`repro.analysis.baseline`); pragmas are for decisions, the
+baseline is for debt.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import tokenize
+from dataclasses import dataclass, field
+from io import StringIO
+from pathlib import Path
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set, Tuple
+
+__all__ = [
+    "Finding",
+    "ModuleContext",
+    "Project",
+    "Rule",
+    "LintEngine",
+    "iter_python_files",
+    "qualified_call_name",
+    "module_name_for_path",
+]
+
+#: ``# simlint: ignore[SIM001]`` / ``ignore[SIM001, SIM005] -- reason``.
+_PRAGMA_RE = re.compile(
+    r"#\s*simlint:\s*ignore\[\s*([A-Za-z0-9_*]+(?:\s*,\s*[A-Za-z0-9_*]+)*)\s*\]")
+
+#: ``# simlint: skip-file`` anywhere in the first 10 lines opts a module
+#: out entirely (reserved for generated code; unused in the tree today).
+_SKIP_FILE_RE = re.compile(r"#\s*simlint:\s*skip-file")
+
+
+@dataclass(frozen=True)
+class Finding:
+    """One rule violation at one source location."""
+
+    rule: str
+    severity: str          # "error" | "warning"
+    path: str              # repo-relative posix path
+    line: int
+    col: int
+    message: str
+
+    @property
+    def baseline_key(self) -> Tuple[str, str, str]:
+        """Identity used for baseline matching.
+
+        Line numbers drift with every edit, so grandfathered findings
+        match on (rule, path, message) with multiplicity instead.
+        """
+        return (self.rule, self.path, self.message)
+
+    def as_dict(self) -> Dict[str, object]:
+        return {
+            "rule": self.rule,
+            "severity": self.severity,
+            "path": self.path,
+            "line": self.line,
+            "col": self.col,
+            "message": self.message,
+        }
+
+
+def module_name_for_path(path: Path) -> str:
+    """Best-effort dotted module name for *path*.
+
+    Scope-sensitive rules (SIM001's hard core, SIM006, SIM008) key on
+    the ``repro.*`` package a file belongs to.  The name is derived from
+    the path alone so fixture trees in tests behave like the real tree:
+    the segment after the last ``src`` component wins, else the segment
+    from the last ``repro`` component, else the bare stem.
+    """
+    parts = list(path.with_suffix("").parts)
+    if "src" in parts:
+        last_src = len(parts) - 1 - parts[::-1].index("src")
+        parts = parts[last_src + 1:]
+    elif "repro" in parts:
+        last_repro = len(parts) - 1 - parts[::-1].index("repro")
+        parts = parts[last_repro:]
+    else:
+        parts = parts[-1:]
+    if parts and parts[-1] == "__init__":
+        parts = parts[:-1]
+    return ".".join(parts)
+
+
+def _parent_package(module: str) -> str:
+    return module.rsplit(".", 1)[0] if "." in module else ""
+
+
+class _ImportMap:
+    """Alias -> qualified-name table for one module."""
+
+    def __init__(self, tree: ast.Module, module: str) -> None:
+        self.aliases: Dict[str, str] = {}
+        package = _parent_package(module)
+        for node in ast.walk(tree):
+            if isinstance(node, ast.Import):
+                for item in node.names:
+                    name = item.asname or item.name.split(".")[0]
+                    target = item.name if item.asname else item.name.split(".")[0]
+                    self.aliases[name] = target
+            elif isinstance(node, ast.ImportFrom):
+                base = node.module or ""
+                if node.level:
+                    # Resolve ``from ..parallel import derive_seed``
+                    # against the module's own dotted name.
+                    anchor = package.split(".") if package else []
+                    anchor = anchor[: len(anchor) - (node.level - 1)] \
+                        if node.level > 1 else anchor
+                    base = ".".join(anchor + ([node.module] if node.module else []))
+                for item in node.names:
+                    if item.name == "*":
+                        continue
+                    name = item.asname or item.name
+                    self.aliases[name] = f"{base}.{item.name}" if base else item.name
+
+    def resolve(self, name: str) -> Optional[str]:
+        return self.aliases.get(name)
+
+
+def qualified_call_name(node: ast.expr,
+                        ctx: "ModuleContext") -> Optional[str]:
+    """Resolve a call target to a dotted name through the import table.
+
+    ``time.time`` (via ``import time``), ``perf_counter`` (via ``from
+    time import perf_counter``) and ``np.random.rand`` (via ``import
+    numpy as np``) all resolve to their canonical module path.  Returns
+    ``None`` for locals and anything the table cannot see.
+    """
+    chain: List[str] = []
+    cursor = node
+    while isinstance(cursor, ast.Attribute):
+        chain.append(cursor.attr)
+        cursor = cursor.value
+    if not isinstance(cursor, ast.Name):
+        return None
+    root = ctx.imports.resolve(cursor.id)
+    if root is None:
+        return None
+    return ".".join([root] + list(reversed(chain)))
+
+
+@dataclass
+class ModuleContext:
+    """Everything a rule needs to inspect one source file."""
+
+    path: Path
+    relpath: str
+    module: str
+    source: str
+    tree: ast.Module
+    imports: _ImportMap
+    #: line -> set of suppressed rule codes ("*" suppresses all).
+    pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    skip_file: bool = False
+
+    @classmethod
+    def parse(cls, path: Path, root: Optional[Path] = None) -> "ModuleContext":
+        source = path.read_text(encoding="utf-8")
+        tree = ast.parse(source, filename=str(path))
+        module = module_name_for_path(path)
+        try:
+            relpath = str(path.relative_to(root)) if root else str(path)
+        except ValueError:
+            relpath = str(path)
+        ctx = cls(path=path, relpath=relpath.replace("\\", "/"),
+                  module=module, source=source, tree=tree,
+                  imports=_ImportMap(tree, module))
+        ctx._scan_pragmas()
+        _annotate_parents(tree)
+        return ctx
+
+    def _scan_pragmas(self) -> None:
+        head = "\n".join(self.source.splitlines()[:10])
+        if _SKIP_FILE_RE.search(head):
+            self.skip_file = True
+        lines = self.source.splitlines()
+        try:
+            tokens = list(tokenize.generate_tokens(StringIO(self.source).readline))
+        except tokenize.TokenizeError:  # pragma: no cover - ast parsed already
+            return
+        for tok in tokens:
+            if tok.type != tokenize.COMMENT:
+                continue
+            match = _PRAGMA_RE.search(tok.string)
+            if not match:
+                continue
+            codes = {c.strip() for c in match.group(1).split(",") if c.strip()}
+            line = tok.start[0]
+            text_before = lines[line - 1][: tok.start[1]].strip() \
+                if line - 1 < len(lines) else ""
+            self.pragmas.setdefault(line, set()).update(codes)
+            if not text_before:
+                # Standalone pragma comment: applies to the next code line.
+                self.pragmas.setdefault(line + 1, set()).update(codes)
+
+    def suppressed(self, finding: Finding) -> bool:
+        codes = self.pragmas.get(finding.line)
+        if not codes:
+            return False
+        return finding.rule in codes or "*" in codes
+
+    def in_packages(self, prefixes: Sequence[str]) -> bool:
+        return any(self.module == p or self.module.startswith(p + ".")
+                   for p in prefixes)
+
+
+def _annotate_parents(tree: ast.Module) -> None:
+    """Attach ``_simlint_parent = (parent, fieldname)`` to every node."""
+    tree._simlint_parent = None  # type: ignore[attr-defined]
+    for parent in ast.walk(tree):
+        for fieldname, value in ast.iter_fields(parent):
+            children = value if isinstance(value, list) else [value]
+            for child in children:
+                if isinstance(child, ast.AST):
+                    child._simlint_parent = (parent, fieldname)  # type: ignore[attr-defined]
+
+
+def node_parent(node: ast.AST) -> Optional[Tuple[ast.AST, str]]:
+    return getattr(node, "_simlint_parent", None)
+
+
+def enclosing_function(node: ast.AST) -> Optional[ast.AST]:
+    """Nearest enclosing FunctionDef/AsyncFunctionDef, or None at module scope."""
+    cursor = node_parent(node)
+    while cursor is not None:
+        parent, _ = cursor
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            return parent
+        cursor = node_parent(parent)
+    return None
+
+
+@dataclass
+class Project:
+    """All parsed modules of one lint run, for cross-file rules."""
+
+    modules: List[ModuleContext]
+
+    def by_module(self, name: str) -> Optional[ModuleContext]:
+        for ctx in self.modules:
+            if ctx.module == name:
+                return ctx
+        return None
+
+
+class Rule:
+    """Base class for simlint rules.
+
+    Subclasses set ``code`` (``SIMxxx``), ``name`` (short slug),
+    ``severity`` and ``description``, and implement
+    :meth:`check_module`; cross-file rules additionally implement
+    :meth:`finalize`, which runs once after every module has been
+    scanned.
+    """
+
+    code: str = "SIM000"
+    name: str = "abstract"
+    severity: str = "error"
+    description: str = ""
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        return iter(())
+
+    # -- helpers shared by concrete rules -------------------------------------
+
+    def finding(self, ctx: ModuleContext, node: ast.AST,
+                message: str) -> Finding:
+        return Finding(rule=self.code, severity=self.severity,
+                       path=ctx.relpath,
+                       line=getattr(node, "lineno", 1),
+                       col=getattr(node, "col_offset", 0),
+                       message=message)
+
+
+def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
+    """Expand files/directories into .py files, skipping caches."""
+    seen: List[Path] = []
+    for path in paths:
+        if path.is_dir():
+            candidates = sorted(path.rglob("*.py"))
+        else:
+            candidates = [path]
+        for candidate in candidates:
+            if "__pycache__" in candidate.parts:
+                continue
+            if candidate not in seen:
+                seen.append(candidate)
+                yield candidate
+
+
+@dataclass
+class LintResult:
+    findings: List[Finding]
+    suppressed: int
+    files: int
+
+    @property
+    def errors(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "error"]
+
+    @property
+    def warnings(self) -> List[Finding]:
+        return [f for f in self.findings if f.severity == "warning"]
+
+
+class LintEngine:
+    """Drives a rule battery over a file set."""
+
+    def __init__(self, rules: Sequence[Rule],
+                 root: Optional[Path] = None) -> None:
+        self.rules = list(rules)
+        self.root = root or Path.cwd()
+
+    def run(self, paths: Iterable[Path]) -> LintResult:
+        modules: List[ModuleContext] = []
+        findings: List[Finding] = []
+        for path in iter_python_files(paths):
+            try:
+                ctx = ModuleContext.parse(path, root=self.root)
+            except SyntaxError as exc:
+                findings.append(Finding(
+                    rule="SIM000", severity="error",
+                    path=str(path), line=exc.lineno or 1,
+                    col=exc.offset or 0,
+                    message=f"syntax error: {exc.msg}"))
+                continue
+            if ctx.skip_file:
+                continue
+            modules.append(ctx)
+
+        raw: List[Tuple[ModuleContext, Finding]] = []
+        for ctx in modules:
+            for rule in self.rules:
+                for finding in rule.check_module(ctx):
+                    raw.append((ctx, finding))
+        project = Project(modules=modules)
+        ctx_by_path = {ctx.relpath: ctx for ctx in modules}
+        for rule in self.rules:
+            for finding in rule.finalize(project):
+                raw.append((ctx_by_path.get(finding.path), finding))
+
+        suppressed = 0
+        for ctx, finding in raw:
+            if ctx is not None and ctx.suppressed(finding):
+                suppressed += 1
+            else:
+                findings.append(finding)
+        findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
+        return LintResult(findings=findings, suppressed=suppressed,
+                          files=len(modules))

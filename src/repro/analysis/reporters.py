@@ -1,0 +1,46 @@
+"""Finding renderers: human text and machine JSON."""
+
+from __future__ import annotations
+
+import json
+from collections import Counter
+from typing import Dict, List
+
+from .engine import Finding
+
+__all__ = ["render_text", "render_json"]
+
+
+def render_text(findings: List[Finding], files: int,
+                suppressed: int) -> str:
+    """One ``path:line:col CODE severity: message`` line per finding."""
+    lines = [
+        f"{f.path}:{f.line}:{f.col} {f.rule} {f.severity}: {f.message}"
+        for f in findings
+    ]
+    errors = sum(1 for f in findings if f.severity == "error")
+    warnings = len(findings) - errors
+    summary = (f"simlint: {files} files, {errors} errors, "
+               f"{warnings} warnings")
+    if suppressed:
+        summary += f", {suppressed} suppressed"
+    lines.append(summary)
+    return "\n".join(lines)
+
+
+def render_json(findings: List[Finding], files: int,
+                suppressed: int) -> str:
+    by_rule: Dict[str, int] = dict(Counter(f.rule for f in findings))
+    document = {
+        "version": 1,
+        "files": files,
+        "suppressed": suppressed,
+        "summary": {
+            "errors": sum(1 for f in findings if f.severity == "error"),
+            "warnings": sum(1 for f in findings
+                            if f.severity == "warning"),
+            "by_rule": by_rule,
+        },
+        "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)

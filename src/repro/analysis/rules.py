@@ -1,0 +1,757 @@
+"""The simlint rule battery (SIM001..SIM008).
+
+Each rule encodes one invariant the simulator's determinism, spawn
+safety, or bookkeeping depends on.  DESIGN.md section 10 documents the
+rationale and the incidents behind them (notably PR 3's fig9 seed drift,
+which SIM002/SIM003 exist to make unrepresentable).
+
+Adding a rule: subclass :class:`~repro.analysis.engine.Rule`, set
+``code``/``name``/``severity``/``description``, implement
+``check_module`` (and ``finalize`` for cross-file analysis), and
+decorate with :func:`register`.  Add fixture tests in
+``tests/test_analysis.py`` proving it fires and does not over-fire.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from typing import Dict, Iterator, List, Optional, Sequence, Set, Tuple, Type
+
+from .engine import (
+    Finding,
+    ModuleContext,
+    Project,
+    Rule,
+    enclosing_function,
+    node_parent,
+    qualified_call_name,
+)
+
+__all__ = ["register", "all_rules", "RULES"]
+
+RULES: Dict[str, Type[Rule]] = {}
+
+
+def register(cls: Type[Rule]) -> Type[Rule]:
+    if cls.code in RULES:
+        raise ValueError(f"duplicate rule code {cls.code}")
+    RULES[cls.code] = cls
+    return cls
+
+
+def all_rules() -> List[Rule]:
+    return [RULES[code]() for code in sorted(RULES)]
+
+
+#: Packages whose code runs *inside* simulated time.  Wall-clock reads
+#: here are never acceptable, pragma or not in spirit (the pragma still
+#: works mechanically, but review should reject it).
+SIM_TIME_PACKAGES = ("repro.sim", "repro.core", "repro.flash")
+
+#: Packages that sit on the simulator's hot request path; telemetry
+#: hooks here must stay nil-by-default (SIM006).
+HOT_PATH_PACKAGES = SIM_TIME_PACKAGES + ("repro.dram", "repro.disk")
+
+#: The typed error hierarchy of repro.core.errors (SIM008).
+CORE_ERROR_NAMES = {
+    "CacheError",
+    "CacheCapacityError",
+    "CacheDegradedError",
+    "ReserveBlockLostError",
+    "NoEvictableBlockError",
+}
+
+
+def _call_name(node: ast.Call, ctx: ModuleContext) -> Optional[str]:
+    return qualified_call_name(node.func, ctx)
+
+
+def _last_segment(qualified: str) -> str:
+    return qualified.rsplit(".", 1)[-1]
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — wall clock
+# ---------------------------------------------------------------------------
+
+_WALL_CLOCK = {
+    "time.time", "time.time_ns",
+    "time.monotonic", "time.monotonic_ns",
+    "time.perf_counter", "time.perf_counter_ns",
+    "time.process_time", "time.process_time_ns",
+    "datetime.datetime.now", "datetime.datetime.utcnow",
+    "datetime.datetime.today", "datetime.date.today",
+}
+
+
+@register
+class WallClockRule(Rule):
+    """No wall-clock reads: simulated time comes from the event flow.
+
+    Inside ``repro.sim``/``repro.core``/``repro.flash`` any wall-clock
+    read is a determinism bug — two runs of the same trace would observe
+    different "time".  Outside those packages the only legitimate use is
+    orchestration interval timing (progress lines, report footnotes),
+    which must use a monotonic counter and carry an explicit pragma so
+    every wall-clock read in the tree is a reviewed decision.
+    """
+
+    code = "SIM001"
+    name = "wall-clock"
+    severity = "error"
+    description = ("wall-clock reads (time.time, datetime.now, "
+                   "perf_counter, ...) are forbidden in simulation "
+                   "packages and must be pragma'd as orchestration "
+                   "timing elsewhere")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        hard = ctx.in_packages(SIM_TIME_PACKAGES)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            if name not in _WALL_CLOCK:
+                continue
+            if hard:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() inside {ctx.module}: wall clock must never "
+                    "leak into simulated time (use the event flow's "
+                    "latency accounting instead)")
+            else:
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() is a wall-clock read; orchestration "
+                    "interval timing must use time.perf_counter() and "
+                    "carry '# simlint: ignore[SIM001] -- <why>'")
+
+
+# ---------------------------------------------------------------------------
+# SIM002 — RNG seeding discipline
+# ---------------------------------------------------------------------------
+
+_GLOBAL_RANDOM_FNS = {
+    "random", "randint", "randrange", "uniform", "choice", "choices",
+    "sample", "shuffle", "seed", "getrandbits", "gauss", "normalvariate",
+    "expovariate", "betavariate", "paretovariate", "triangular",
+    "vonmisesvariate", "weibullvariate", "lognormvariate", "randbytes",
+}
+
+_NUMPY_GLOBAL_FNS = {
+    "rand", "randn", "randint", "random", "random_sample", "seed",
+    "choice", "shuffle", "permutation", "normal", "uniform",
+    "exponential", "poisson", "binomial",
+}
+
+_RNG_CONSTRUCTORS = {"random.Random", "random.SystemRandom",
+                     "numpy.random.default_rng",
+                     "numpy.random.RandomState"}
+
+
+@register
+class RngSeedRule(Rule):
+    """Every RNG flows from an explicit seed or ``parallel.derive_seed``.
+
+    The process-global ``random`` module and ``numpy.random`` functions
+    are spawn-hostile (worker processes fork/spawn with unrelated global
+    state) and invisible to sweep reproducibility.  Ad-hoc seed
+    arithmetic (``seed + 1``, ``(seed << 2) | 1``) is how PR 3's fig9
+    drift happened: two streams that were meant to be identical (or
+    independent) silently shared structure.  ``derive_seed(base, key)``
+    makes the derivation explicit, collision-resistant, and
+    PYTHONHASHSEED-immune.
+    """
+
+    code = "SIM002"
+    name = "rng-seed"
+    severity = "error"
+    description = ("RNGs must be seeded from an explicit seed "
+                   "parameter or parallel.derive_seed; no global-state "
+                   "random functions, no module-level RNGs, no ad-hoc "
+                   "seed arithmetic")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            if name is None:
+                continue
+            if (name.startswith("random.")
+                    and _last_segment(name) in _GLOBAL_RANDOM_FNS
+                    and name.count(".") == 1):
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() uses the process-global RNG; construct a "
+                    "seeded random.Random(seed) instead")
+                continue
+            if (name.startswith("numpy.random.")
+                    and _last_segment(name) in _NUMPY_GLOBAL_FNS):
+                yield self.finding(
+                    ctx, node,
+                    f"{name}() uses numpy's global RNG state; use "
+                    "numpy.random.default_rng(seed) with an explicit "
+                    "seed")
+                continue
+            if name in _RNG_CONSTRUCTORS:
+                yield from self._check_constructor(ctx, node, name)
+
+    def _check_constructor(self, ctx: ModuleContext, node: ast.Call,
+                           name: str) -> Iterator[Finding]:
+        short = _last_segment(name)
+        if enclosing_function(node) is None:
+            yield self.finding(
+                ctx, node,
+                f"module-level {short}(...) is shared mutable state and "
+                "breaks process-pool spawn safety; construct RNGs inside "
+                "the function that owns the stream")
+            return
+        if not node.args and not node.keywords:
+            yield self.finding(
+                ctx, node,
+                f"unseeded {short}(): every stream must take an explicit "
+                "seed parameter or parallel.derive_seed(base, key)")
+            return
+        seed_arg = node.args[0] if node.args else node.keywords[0].value
+        yield from self._check_seed_expr(ctx, node, short, seed_arg)
+
+    def _check_seed_expr(self, ctx: ModuleContext, node: ast.Call,
+                         short: str, seed: ast.expr) -> Iterator[Finding]:
+        if isinstance(seed, (ast.BinOp, ast.UnaryOp, ast.BoolOp)):
+            yield self.finding(
+                ctx, node,
+                f"{short}(...) seeded with ad-hoc arithmetic; derive "
+                "per-stream seeds via parallel.derive_seed(base, key) "
+                "(the fig9 seed-drift class of bug)")
+            return
+        if isinstance(seed, ast.Call):
+            inner = _call_name(seed, ctx)
+            if inner is not None and _last_segment(inner) == "hash":
+                yield self.finding(
+                    ctx, node,
+                    f"{short}(hash(...)) depends on PYTHONHASHSEED; use "
+                    "parallel.derive_seed(base, key)")
+            elif inner in _WALL_CLOCK:
+                yield self.finding(
+                    ctx, node,
+                    f"{short}(...) seeded from the wall clock is "
+                    "unreproducible by construction")
+        # Name / Attribute / int constant / derive_seed(...) / rng
+        # method calls are the approved forms.
+
+
+# ---------------------------------------------------------------------------
+# SIM003 — PYTHONHASHSEED / ordering hazards
+# ---------------------------------------------------------------------------
+
+
+@register
+class HashOrderRule(Rule):
+    """No ``hash()``/``id()``/raw-set ordering feeding simulator state.
+
+    ``hash(str)`` is salted per process (PYTHONHASHSEED), ``id()`` is an
+    address, and set iteration order follows the hash — all three make
+    output depend on the interpreter invocation rather than the seed.
+    ``hash`` inside a ``__hash__`` implementation is the protocol itself
+    and is allowed; everything else must use ``parallel.derive_seed``
+    (seeds) or ``sorted(...)`` (ordering).
+    """
+
+    code = "SIM003"
+    name = "hash-order"
+    severity = "error"
+    description = ("hash()/id() results and raw set iteration order are "
+                   "process-dependent; never feed them into seeds, "
+                   "ordering, or telemetry keys")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Call):
+                yield from self._check_call(ctx, node)
+            elif isinstance(node, (ast.For, ast.comprehension)):
+                iterable = node.iter
+                if self._is_raw_set(iterable, ctx):
+                    yield self.finding(
+                        ctx, iterable,
+                        "iterating a set directly has hash-dependent "
+                        "order; wrap it in sorted(...)")
+
+    def _check_call(self, ctx: ModuleContext,
+                    node: ast.Call) -> Iterator[Finding]:
+        if isinstance(node.func, ast.Name):
+            if node.func.id == "hash" and not self._inside_dunder_hash(node):
+                yield self.finding(
+                    ctx, node,
+                    "hash() is salted by PYTHONHASHSEED; outside __hash__ "
+                    "use parallel.derive_seed for seeds and stable keys "
+                    "for ordering")
+            elif node.func.id == "id" and ctx.imports.resolve("id") is None:
+                yield self.finding(
+                    ctx, node,
+                    "id() is a process-local address; never let it reach "
+                    "seeds, ordering, or telemetry keys")
+            elif node.func.id in ("list", "tuple", "enumerate", "iter"):
+                if node.args and self._is_raw_set(node.args[0], ctx):
+                    yield self.finding(
+                        ctx, node,
+                        f"{node.func.id}(set(...)) materialises "
+                        "hash-dependent order; use sorted(...)")
+
+    @staticmethod
+    def _is_raw_set(node: ast.expr, ctx: ModuleContext) -> bool:
+        if isinstance(node, (ast.Set, ast.SetComp)):
+            return True
+        if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+            return (node.func.id in ("set", "frozenset")
+                    and ctx.imports.resolve(node.func.id) is None)
+        return False
+
+    @staticmethod
+    def _inside_dunder_hash(node: ast.AST) -> bool:
+        fn = enclosing_function(node)
+        return fn is not None and getattr(fn, "name", "") == "__hash__"
+
+
+# ---------------------------------------------------------------------------
+# SIM004 — sweep-task payload picklability
+# ---------------------------------------------------------------------------
+
+
+@register
+class PicklableTaskRule(Rule):
+    """``SweepTask`` payloads must be picklable by construction.
+
+    Workers import ``fn`` by qualified name and receive ``kwargs`` over
+    a pipe; a lambda, closure, or bound method pickles either not at all
+    (spawn) or by accident (fork), and the failure appears only at
+    ``--workers 2``.  The rule demands ``fn`` be a module-level function
+    (local name or ``module.attr``) and bans lambdas anywhere in the
+    constructor.
+    """
+
+    code = "SIM004"
+    name = "picklable-task"
+    severity = "error"
+    description = ("SweepTask payloads must be picklable: fn must be a "
+                   "module-level callable and no lambdas/closures/bound "
+                   "methods may ride in the task")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        nested = self._nested_function_names(ctx.tree)
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = _call_name(node, ctx)
+            target = name if name is not None else self._bare_name(node)
+            if target is None or _last_segment(target) != "SweepTask":
+                continue
+            yield from self._check_task(ctx, node, nested)
+
+    @staticmethod
+    def _bare_name(node: ast.Call) -> Optional[str]:
+        return node.func.id if isinstance(node.func, ast.Name) else None
+
+    def _check_task(self, ctx: ModuleContext, node: ast.Call,
+                    nested: Set[str]) -> Iterator[Finding]:
+        for child in ast.walk(node):
+            if isinstance(child, ast.Lambda):
+                yield self.finding(
+                    ctx, child,
+                    "lambda inside a SweepTask cannot cross a process "
+                    "boundary; hoist it to a module-level function")
+        fn_value: Optional[ast.expr] = None
+        if len(node.args) >= 2:
+            fn_value = node.args[1]
+        for kw in node.keywords:
+            if kw.arg == "fn":
+                fn_value = kw.value
+        if fn_value is None or isinstance(fn_value, ast.Lambda):
+            return
+        if isinstance(fn_value, ast.Name):
+            if fn_value.id in nested:
+                yield self.finding(
+                    ctx, fn_value,
+                    f"SweepTask fn={fn_value.id!r} is a nested function "
+                    "(closure); workers import fn by qualified name, so "
+                    "it must live at module level")
+        elif isinstance(fn_value, ast.Attribute):
+            qualified = qualified_call_name(fn_value, ctx)
+            if qualified is None:
+                yield self.finding(
+                    ctx, fn_value,
+                    "SweepTask fn is an attribute of a local object "
+                    "(bound method?); pass a module-level function "
+                    "instead")
+
+    @staticmethod
+    def _nested_function_names(tree: ast.Module) -> Set[str]:
+        names: Set[str] = set()
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                if enclosing_function(node) is not None:
+                    names.add(node.name)
+        return names
+
+
+# ---------------------------------------------------------------------------
+# SIM005 — latency unit discipline
+# ---------------------------------------------------------------------------
+
+_UNIT_RE = re.compile(r"_(ns|us|ms|s)$")
+
+#: Call names that convert between units — their result deliberately
+#: carries the unit of their *name*, whatever went in.
+_CONVERSION_RE = re.compile(r"(^|_)(to|as|from)_(ns|us|ms|s)$|_(ns|us|ms|s)_to_")
+
+
+def _identifier_unit(identifier: str) -> Optional[str]:
+    match = _UNIT_RE.search(identifier)
+    return match.group(1) if match else None
+
+
+@register
+class UnitMixRule(Rule):
+    """``_us``/``_ms``/``_s`` values may not mix without conversion.
+
+    The simulator carries latency in microseconds, orchestration elapsed
+    time in seconds, and some timing tables in milliseconds.  Adding or
+    comparing across suffixes without an explicit conversion call (or a
+    multiplicative factor, which clears the unit) is a silent
+    10^3/10^6-scale error — exactly the class of bug that corrupts
+    figure axes without failing any test.
+    """
+
+    code = "SIM005"
+    name = "unit-mix"
+    severity = "error"
+    description = ("identifiers suffixed _ns/_us/_ms/_s may not meet in "
+                   "+,-,comparison or assignment across units without "
+                   "an explicit conversion")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        reported: Set[int] = set()
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.BinOp) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(
+                    ctx, node, self._unit_of(node.left),
+                    self._unit_of(node.right), reported)
+            elif isinstance(node, ast.Compare):
+                units = [self._unit_of(node.left)] + [
+                    self._unit_of(c) for c in node.comparators]
+                concrete = [u for u in units if u is not None]
+                if len(set(concrete)) > 1:
+                    yield from self._check_pair(
+                        ctx, node, concrete[0], concrete[1], reported)
+            elif isinstance(node, ast.AugAssign) and isinstance(
+                    node.op, (ast.Add, ast.Sub)):
+                yield from self._check_pair(
+                    ctx, node, self._target_unit(node.target),
+                    self._unit_of(node.value), reported)
+            elif isinstance(node, ast.Assign) and len(node.targets) == 1:
+                yield from self._check_pair(
+                    ctx, node, self._target_unit(node.targets[0]),
+                    self._unit_of(node.value), reported)
+            elif isinstance(node, ast.keyword) and node.arg is not None:
+                yield from self._check_pair(
+                    ctx, node.value, _identifier_unit(node.arg),
+                    self._unit_of(node.value), reported)
+
+    def _check_pair(self, ctx: ModuleContext, node: ast.AST,
+                    left: Optional[str], right: Optional[str],
+                    reported: Set[int]) -> Iterator[Finding]:
+        if left is None or right is None or left == right:
+            return
+        line = getattr(node, "lineno", 1)
+        if line in reported:
+            return
+        reported.add(line)
+        yield self.finding(
+            ctx, node,
+            f"mixes units _{left} and _{right} without an explicit "
+            "conversion (suffix-changing call or scale factor)")
+
+    @classmethod
+    def _target_unit(cls, node: ast.expr) -> Optional[str]:
+        if isinstance(node, ast.Name):
+            return _identifier_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            return _identifier_unit(node.attr)
+        return None
+
+    @classmethod
+    def _unit_of(cls, node: ast.expr) -> Optional[str]:
+        """Unit of an expression, or None when unknown/cleared."""
+        if isinstance(node, ast.Name):
+            return _identifier_unit(node.id)
+        if isinstance(node, ast.Attribute):
+            return _identifier_unit(node.attr)
+        if isinstance(node, ast.Call):
+            func = node.func
+            fn_name = func.attr if isinstance(func, ast.Attribute) else (
+                func.id if isinstance(func, ast.Name) else "")
+            if _CONVERSION_RE.search(fn_name):
+                return _identifier_unit(fn_name)
+            if fn_name in ("min", "max", "sum", "abs", "round"):
+                units = {cls._unit_of(a) for a in node.args}
+                units.discard(None)
+                if len(units) == 1:
+                    return units.pop()
+                return None
+            return _identifier_unit(fn_name)
+        if isinstance(node, ast.BinOp):
+            if isinstance(node.op, (ast.Add, ast.Sub)):
+                return cls._unit_of(node.left) or cls._unit_of(node.right)
+            # Multiplication/division is how conversions are written:
+            # the factor clears the unit.
+            return None
+        if isinstance(node, ast.UnaryOp):
+            return cls._unit_of(node.operand)
+        if isinstance(node, ast.IfExp):
+            return cls._unit_of(node.body) or cls._unit_of(node.orelse)
+        return None
+
+
+# ---------------------------------------------------------------------------
+# SIM006 — telemetry hooks stay nil-by-default
+# ---------------------------------------------------------------------------
+
+
+@register
+class TelemetryGuardRule(Rule):
+    """Hot-path telemetry calls must be guarded by an ``is not None`` test.
+
+    The telemetry contract (DESIGN.md section 8) is that an unobserved
+    simulation pays nothing: hooks read ``self.telemetry`` into a local,
+    test it, and only then construct events.  An unguarded call (or
+    unconditional event construction) puts allocation on every request
+    of every untelemetered run — and the <=10% overhead benchmark only
+    polices the *observed* configuration.
+    """
+
+    code = "SIM006"
+    name = "telemetry-guard"
+    severity = "error"
+    description = ("calls through .telemetry on hot-path packages must "
+                   "sit under an 'is not None' (or truthiness) guard")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_packages(HOT_PATH_PACKAGES):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if not self._is_telemetry_call(node, ctx):
+                continue
+            if not self._guarded(node):
+                yield self.finding(
+                    ctx, node,
+                    "unguarded telemetry call on a hot path; read the "
+                    "handle into a local and guard with 'if telemetry "
+                    "is not None:' so unobserved runs pay nothing")
+
+    @staticmethod
+    def _is_telemetry_call(node: ast.Call, ctx: ModuleContext) -> bool:
+        func = node.func
+        if not isinstance(func, ast.Attribute):
+            return False
+        base = func.value
+        if isinstance(base, ast.Attribute) and base.attr == "telemetry":
+            return True
+        if isinstance(base, ast.Name) and base.id == "telemetry":
+            # A local named ``telemetry`` (the idiomatic hook shape) —
+            # unless it is actually the imported module.
+            return ctx.imports.resolve("telemetry") is None
+        return False
+
+    @staticmethod
+    def _guarded(node: ast.AST) -> bool:
+        cursor, child = node_parent(node), node
+        while cursor is not None:
+            parent, fieldname = cursor
+            if isinstance(parent, (ast.If, ast.IfExp)):
+                mentions = TelemetryGuardRule._test_mentions_telemetry(
+                    parent.test)
+                if fieldname == "body" and mentions:
+                    return True
+                # ``if telemetry is None: ... else: telemetry.hook()`` —
+                # the orelse branch is the guarded one for inverted tests.
+                if fieldname == "orelse" and mentions \
+                        and TelemetryGuardRule._test_is_inverted(parent.test):
+                    return True
+            if isinstance(parent, ast.BoolOp) and isinstance(
+                    parent.op, ast.And):
+                # ``telemetry is not None and telemetry.hook(...)``
+                index = parent.values.index(child) \
+                    if child in parent.values else -1
+                if index > 0 and any(
+                        TelemetryGuardRule._test_mentions_telemetry(v)
+                        for v in parent.values[:index]):
+                    return True
+            if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef,
+                                   ast.Module)):
+                return False
+            child = parent
+            cursor = node_parent(parent)
+        return False
+
+    @staticmethod
+    def _test_is_inverted(test: ast.expr) -> bool:
+        """True for ``X is None`` / ``not X`` shapes."""
+        if isinstance(test, ast.UnaryOp) and isinstance(test.op, ast.Not):
+            return True
+        return (isinstance(test, ast.Compare)
+                and any(isinstance(op, ast.Is) for op in test.ops)
+                and any(isinstance(c, ast.Constant) and c.value is None
+                        for c in test.comparators))
+
+    @staticmethod
+    def _test_mentions_telemetry(test: ast.expr) -> bool:
+        for node in ast.walk(test):
+            if isinstance(node, ast.Name) and node.id == "telemetry":
+                return True
+            if isinstance(node, ast.Attribute) and node.attr == "telemetry":
+                return True
+        return False
+
+
+# ---------------------------------------------------------------------------
+# SIM007 — dead counters
+# ---------------------------------------------------------------------------
+
+#: Stats containers whose declared fields must be written somewhere.
+_STATS_CLASSES = {"ControllerStats", "CacheStats", "SimulationReport",
+                  "FaultStats"}
+
+
+@register
+class DeadCounterRule(Rule):
+    """Every declared stats counter must be written somewhere.
+
+    A counter that exists in ``ControllerStats``/``CacheStats``/
+    ``SimulationReport`` but is never assigned anywhere in the tree is
+    worse than missing: reports render it as a confident zero.  The rule
+    collects dataclass fields in pass one and attribute stores plus
+    constructor keywords across the whole project in finalize.
+    """
+
+    code = "SIM007"
+    name = "dead-counter"
+    severity = "warning"
+    description = ("fields declared on stats dataclasses "
+                   "(ControllerStats, CacheStats, SimulationReport, "
+                   "FaultStats) must be written by some code path")
+
+    def __init__(self) -> None:
+        self._declared: List[Tuple[str, str, str, int]] = []  # cls, field, path, line
+        self._written: Set[str] = set()
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef) and node.name in _STATS_CLASSES:
+                for stmt in node.body:
+                    if isinstance(stmt, ast.AnnAssign) and isinstance(
+                            stmt.target, ast.Name):
+                        fieldname = stmt.target.id
+                        if fieldname.startswith("_"):
+                            continue
+                        self._declared.append(
+                            (node.name, fieldname, ctx.relpath, stmt.lineno))
+            elif isinstance(node, (ast.Assign, ast.AugAssign, ast.AnnAssign)):
+                targets = node.targets if isinstance(node, ast.Assign) \
+                    else [node.target]
+                for target in targets:
+                    for sub in ast.walk(target):
+                        if isinstance(sub, ast.Attribute):
+                            self._written.add(sub.attr)
+            elif isinstance(node, ast.Call):
+                name = _call_name(node, ctx)
+                target = name if name is not None else (
+                    node.func.id if isinstance(node.func, ast.Name) else None)
+                if target is not None and _last_segment(target) in _STATS_CLASSES:
+                    for kw in node.keywords:
+                        if kw.arg is not None:
+                            self._written.add(kw.arg)
+        return iter(())
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        for clsname, fieldname, path, line in self._declared:
+            if fieldname in self._written:
+                continue
+            yield Finding(
+                rule=self.code, severity=self.severity, path=path,
+                line=line, col=0,
+                message=(f"{clsname}.{fieldname} is declared but never "
+                         "written by any code path; a report would show "
+                         "a confident zero — wire it up or remove it"))
+
+
+# ---------------------------------------------------------------------------
+# SIM008 — exception discipline
+# ---------------------------------------------------------------------------
+
+
+@register
+class ExceptionDisciplineRule(Rule):
+    """No bare ``except:`` / silently swallowed degradation errors.
+
+    The typed hierarchy in ``repro.core.errors`` exists so the cache can
+    tell "degrade and keep serving" from "genuine bug".  A bare except
+    (or an ``except CacheDegradedError: pass``) re-flattens that
+    distinction and hides capacity loss from the stats — the silent
+    failure mode graceful degradation was built to avoid.
+    """
+
+    code = "SIM008"
+    name = "exception-discipline"
+    severity = "error"
+    description = ("no bare except: in repro.core/repro.sim, and typed "
+                   "cache errors may not be swallowed with a pass-only "
+                   "handler")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_packages(("repro.core", "repro.sim")):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            if node.type is None:
+                yield self.finding(
+                    ctx, node,
+                    "bare 'except:' catches SystemExit/KeyboardInterrupt "
+                    "and hides degradation; name the exception types")
+                continue
+            caught = self._caught_names(node.type, ctx)
+            swallowed = self._body_swallows(node)
+            if swallowed and caught & CORE_ERROR_NAMES:
+                names = ", ".join(sorted(caught & CORE_ERROR_NAMES))
+                yield self.finding(
+                    ctx, node,
+                    f"swallowed {names} with a pass-only handler; "
+                    "degradation errors must update stats or degrade "
+                    "state, never vanish")
+            elif swallowed and caught & {"Exception", "BaseException"}:
+                yield self.finding(
+                    ctx, node,
+                    "'except Exception: pass' in a simulation package "
+                    "hides real failures; handle or re-raise")
+
+    @staticmethod
+    def _caught_names(type_node: ast.expr, ctx: ModuleContext) -> Set[str]:
+        names: Set[str] = set()
+        nodes = type_node.elts if isinstance(type_node, ast.Tuple) \
+            else [type_node]
+        for node in nodes:
+            if isinstance(node, ast.Name):
+                names.add(node.id)
+            elif isinstance(node, ast.Attribute):
+                names.add(node.attr)
+        return names
+
+    @staticmethod
+    def _body_swallows(handler: ast.ExceptHandler) -> bool:
+        meaningful = [stmt for stmt in handler.body
+                      if not (isinstance(stmt, ast.Expr)
+                              and isinstance(stmt.value, ast.Constant))]
+        return all(isinstance(stmt, ast.Pass) for stmt in meaningful)

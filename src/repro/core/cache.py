@@ -44,7 +44,7 @@ from __future__ import annotations
 import enum
 from collections import OrderedDict, deque
 from dataclasses import dataclass, field
-from typing import Deque, Dict, List, Optional, Set, Tuple
+from typing import Any, Deque, Dict, List, Optional, Set, Tuple
 
 from ..flash.device import EraseFailure, ProgramFailure
 from ..flash.geometry import PageAddress
@@ -210,7 +210,7 @@ class _RegionState:
     __slots__ = ("name", "free_blocks", "open_block", "open_free",
                  "lru", "valid", "invalid", "reserve_block", "reserve_free")
 
-    def __init__(self, name: Region):
+    def __init__(self, name: Region) -> None:
         self.name = name
         self.free_blocks: Deque[int] = deque()
         self.open_block: Optional[int] = None
@@ -236,14 +236,14 @@ class FlashDiskCache:
     Flash memory controller."""
 
     def __init__(self, controller: ProgrammableFlashController,
-                 config: FlashCacheConfig | None = None):
+                 config: FlashCacheConfig | None = None) -> None:
         self.controller = controller
         self.config = config or FlashCacheConfig()
         self.fcht = FlashCacheHashTable(buckets=self.config.fcht_buckets)
         self.stats = CacheStats()
         #: Optional :class:`repro.telemetry.Telemetry` handle; ``None``
         #: (default) leaves the lookup/GC paths un-instrumented.
-        self.telemetry = None
+        self.telemetry: Optional[Any] = None
         self._location: Dict[int, Region] = {}  # lba -> owning log
         self._dirty: Set[int] = set()           # lbas not yet on disk
         #: Dirty lbas whose Flash home died; they leave via the next flush.

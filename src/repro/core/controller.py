@@ -30,7 +30,7 @@ from __future__ import annotations
 
 import enum
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Set
+from typing import Any, Callable, Dict, List, Optional, Set
 
 from ..ecc.latency import AcceleratorConfig, BCHLatencyModel
 from ..flash.device import EraseFailure, FlashDevice, ProgramFailure
@@ -162,7 +162,7 @@ class ProgrammableFlashController:
         config: ControllerConfig | None = None,
         latency_model: BCHLatencyModel | None = None,
         fgst: FlashGlobalStatus | None = None,
-    ):
+    ) -> None:
         self.device = device
         self.config = config or ControllerConfig()
         self.latency_model = latency_model or BCHLatencyModel(
@@ -175,7 +175,7 @@ class ProgrammableFlashController:
         self.stats = ControllerStats()
         #: Optional :class:`repro.telemetry.Telemetry` handle; ``None``
         #: (default) keeps the mediated operations un-instrumented.
-        self.telemetry = None
+        self.telemetry: Optional[Any] = None
         #: Optional externally measured miss-rate increase per lost cache
         #: page (the paper's runtime-measured "delta miss").  When None, a
         #: uniform-popularity estimate is derived from the FGST.
@@ -390,7 +390,7 @@ class ProgrammableFlashController:
     # -- section 5.2.1: response to an increase in faults -------------------------
 
     def _respond_to_faults(self, address: PageAddress,
-                           entry) -> Optional[ReconfigKind]:
+                           entry: FPSTEntry) -> Optional[ReconfigKind]:
         """Choose stronger ECC vs density reduction by the latency heuristics."""
         can_strengthen = entry.ecc_strength < self.config.max_ecc_strength
         can_densify = entry.mode is CellMode.MLC
@@ -416,14 +416,14 @@ class ProgrammableFlashController:
             self.telemetry.reconfig(choice.value)
         return choice
 
-    def choose_repair(self, entry) -> ReconfigKind:
+    def choose_repair(self, entry: FPSTEntry) -> ReconfigKind:
         """Public face of the section 5.2.1 heuristic: given a page's FPST
         entry, pick the repair (stronger ECC vs MLC->SLC) with the smaller
         estimated latency impact.  Exposed for the accelerated lifetime
         simulator, which replays the same policy event-driven."""
         return self._cheaper_repair(entry)
 
-    def _cheaper_repair(self, entry) -> ReconfigKind:
+    def _cheaper_repair(self, entry: FPSTEntry) -> ReconfigKind:
         """Evaluate delta_t_cs vs delta_t_d (section 5.2.1 heuristics)."""
         fgst = self.fgst
         freq = fgst.relative_frequency(entry.access_count)
@@ -538,12 +538,12 @@ class FixedEccController(ProgrammableFlashController):
     """
 
     def __init__(self, device: FlashDevice, strength: int = 1,
-                 fgst: FlashGlobalStatus | None = None):
+                 fgst: FlashGlobalStatus | None = None) -> None:
         config = ControllerConfig(
             max_ecc_strength=strength, initial_ecc_strength=strength)
         super().__init__(device, config=config, fgst=fgst)
 
     def _respond_to_faults(self, address: PageAddress,
-                           entry) -> Optional[ReconfigKind]:
+                           entry: FPSTEntry) -> Optional[ReconfigKind]:
         self._retire_block(address.block)
         return None

@@ -75,7 +75,7 @@ class DensityPartitionOptimizer:
     def __init__(self, distribution: PopularityDistribution,
                  timing: FlashTiming = DEFAULT_FLASH_TIMING,
                  disk_latency_us: float = 4200.0,
-                 page_bytes: int = PAGE_BYTES):
+                 page_bytes: int = PAGE_BYTES) -> None:
         self.distribution = distribution
         self.timing = timing
         self.disk_latency_us = disk_latency_us

@@ -103,7 +103,7 @@ class RequestStats:
 class _SystemBase:
     """Shared request-loop plumbing of both hierarchies."""
 
-    def __init__(self, config: SystemConfig):
+    def __init__(self, config: SystemConfig) -> None:
         self.config = config
         self.dram = DramModel(size_bytes=config.dram_bytes,
                               power_model_bytes=config.power_model_dram_bytes)
@@ -240,7 +240,7 @@ class FlashBackedSystem(_SystemBase):
     """The paper's platform: DRAM PDC -> Flash disk cache -> disk."""
 
     def __init__(self, config: SystemConfig,
-                 flash_cache: FlashDiskCache):
+                 flash_cache: FlashDiskCache) -> None:
         if config.flash_bytes <= 0:
             raise ValueError("FlashBackedSystem needs flash_bytes > 0")
         super().__init__(config)

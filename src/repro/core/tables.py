@@ -113,7 +113,7 @@ class FBSTEntry:
 class FlashBlockStatusTable:
     """FBST: per-block wear profile, driving wear-level-aware replacement."""
 
-    def __init__(self, num_blocks: int, k1: float = 1.0, k2: float = 10.0):
+    def __init__(self, num_blocks: int, k1: float = 1.0, k2: float = 10.0) -> None:
         if num_blocks < 1:
             raise ValueError("FBST needs at least one block")
         if k2 < k1:
@@ -216,7 +216,7 @@ class FlashCacheHashTable:
     #: Fixed hash + dispatch overhead per lookup.
     BASE_COST_US = 0.05
 
-    def __init__(self, buckets: int = 128):
+    def __init__(self, buckets: int = 128) -> None:
         if buckets < 1:
             raise ValueError("FCHT needs at least one bucket")
         self.buckets = buckets

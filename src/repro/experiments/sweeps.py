@@ -199,9 +199,9 @@ def run_sweep(figures: Optional[Sequence[str]] = None,
     grids = {name: SWEEPS[name].build(scale) for name in selected}
     flat: List[SweepTask] = [task for name in selected
                              for task in grids[name]]
-    started = time.perf_counter()
+    started = time.perf_counter()  # simlint: ignore[SIM001] -- sweep elapsed metadata
     results = sweep(flat, workers=workers, progress=progress)
-    elapsed = time.perf_counter() - started
+    elapsed = time.perf_counter() - started  # simlint: ignore[SIM001] -- sweep elapsed metadata
 
     document: Dict[str, Any] = {
         "meta": {

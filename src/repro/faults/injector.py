@@ -35,6 +35,8 @@ from dataclasses import dataclass, field
 from random import Random
 from typing import Dict, Optional
 
+from ..parallel import derive_seed
+
 __all__ = ["FaultConfig", "FaultStats", "FaultInjector"]
 
 
@@ -120,9 +122,11 @@ class FaultInjector:
         self.stats = FaultStats()
         seed = self.config.seed
         # Independent streams: faults of one kind never perturb another.
-        self._read_rng = Random((seed << 2) | 1)
-        self._program_rng = Random((seed << 2) | 2)
-        self._erase_rng = Random((seed << 2) | 3)
+        # Seeds are derived (not bit-shifted) so the streams share no
+        # structure across seeds or with other derive_seed consumers.
+        self._read_rng = Random(derive_seed(seed, "faults:read-disturb"))
+        self._program_rng = Random(derive_seed(seed, "faults:program"))
+        self._erase_rng = Random(derive_seed(seed, "faults:erase"))
         # (block, frame) -> remaining burst reads.
         self._bursts: Dict[tuple[int, int], int] = {}
         self._dead: Dict[int, bool] = {}
@@ -141,7 +145,9 @@ class FaultInjector:
             return False
         cached = self._dead.get(block)
         if cached is None:
-            cached = Random((self.config.seed << 24) ^ block).random() < rate
+            block_seed = derive_seed(self.config.seed,
+                                     f"faults:infant:{block}")
+            cached = Random(block_seed).random() < rate
             self._dead[block] = cached
             if cached:
                 self.stats.dead_blocks += 1

@@ -107,7 +107,7 @@ def _execute(task: SweepTask) -> SweepResult:
     This is the worker entry point: exceptions must not escape, or one
     crashed configuration would poison the whole pool.
     """
-    started = time.perf_counter()
+    started = time.perf_counter()  # simlint: ignore[SIM001] -- per-task elapsed metadata
     kwargs = dict(task.kwargs)
     if task.seed is not None:
         kwargs["seed"] = task.seed
@@ -116,9 +116,9 @@ def _execute(task: SweepTask) -> SweepResult:
     except Exception:
         return SweepResult(key=task.key, value=None,
                            error=traceback.format_exc(),
-                           elapsed_s=time.perf_counter() - started)
+                           elapsed_s=time.perf_counter() - started)  # simlint: ignore[SIM001] -- per-task elapsed metadata
     return SweepResult(key=task.key, value=value,
-                       elapsed_s=time.perf_counter() - started)
+                       elapsed_s=time.perf_counter() - started)  # simlint: ignore[SIM001] -- per-task elapsed metadata
 
 
 def sweep(tasks: Iterable[SweepTask], workers: int = 1,

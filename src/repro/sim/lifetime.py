@@ -43,6 +43,7 @@ from ..core.controller import (
     ReconfigKind,
 )
 from ..flash.device import FlashDevice, MLC_READ_SENSITIVITY
+from ..parallel import derive_seed
 from ..flash.geometry import FlashGeometry, PageAddress
 from ..flash.timing import CellMode
 from ..flash.wear import CellLifetimeModel, WearModelConfig
@@ -176,7 +177,10 @@ class LifetimeSimulator:
         cfg = self.config
         cached_pages = max(int(self.footprint_pages * cfg.cache_coverage), 1)
         frames = cfg.num_blocks * cfg.frames_per_block
-        rng = Random(cfg.seed + 1)
+        # The FPST-priming stream must be independent of the device's own
+        # wear stream (both flow from cfg.seed); derive it instead of the
+        # old ``seed + 1``, which is the fig9 drift pattern SIM002 bans.
+        rng = Random(derive_seed(cfg.seed, "lifetime:fpst-prime"))
         total_scale = 1_000_000
         fgst = self.controller.fgst
         cached_mass = 0.0

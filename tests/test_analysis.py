@@ -1,111 +1,770 @@
-"""Trace-analysis tests: profiling, tail classification, empirical
-popularity distributions."""
+"""simlint tests: the engine, each SIM rule (fire / near-miss / pragma),
+baseline round-trips, and the meta-invariant that the committed tree
+lints clean.
+
+Fixture modules are written under a synthetic ``repro/...`` directory so
+the scope-sensitive rules (SIM001's hard core, SIM006, SIM008) see the
+same package names they key on in the real tree — the engine derives a
+module's dotted name from its path.
+"""
 
 from __future__ import annotations
 
+import json
+import os
+import subprocess
+import sys
+import textwrap
+from pathlib import Path
+
 import pytest
-from hypothesis import given, settings, strategies as st
 
-from repro.workloads.analysis import (
-    EmpiricalPopularity,
-    fit_tail,
-    popularity_counts,
-    profile_trace,
+from repro.analysis import (
+    DEFAULT_BASELINE,
+    Finding,
+    LintEngine,
+    RULES,
+    all_rules,
+    apply_baseline,
+    lint_paths,
+    load_baseline,
+    write_baseline,
 )
-from repro.workloads.macro import build_workload
-from repro.workloads.trace import OP_READ, OP_WRITE, TraceRecord
+from repro.analysis.cli import main as lint_main
+from repro.analysis.engine import module_name_for_path
+
+REPO_ROOT = Path(__file__).resolve().parents[1]
 
 
-class TestPopularityCounts:
-    def test_counts_sorted_descending(self):
-        records = [TraceRecord(0, OP_READ)] * 5 + [TraceRecord(1, OP_READ)]
-        assert popularity_counts(records) == [5, 1]
-
-    def test_extents_expand(self):
-        records = [TraceRecord(0, OP_WRITE, pages=3)]
-        assert popularity_counts(records) == [1, 1, 1]
-
-
-class TestTailFit:
-    def test_recovers_zipf_parameter(self):
-        records = build_workload("alpha2", num_records=30_000,
-                                 footprint_pages=8192, seed=4)
-        fit = fit_tail(popularity_counts(records))
-        assert fit.family == "zipf"
-        assert fit.is_long_tailed
-        assert 0.8 < fit.parameter < 1.5  # generator alpha = 1.2
-
-    def test_recovers_exponential_parameter(self):
-        records = build_workload("exp2", num_records=30_000,
-                                 footprint_pages=8192, seed=4)
-        fit = fit_tail(popularity_counts(records))
-        assert fit.family == "exponential"
-        assert not fit.is_long_tailed
-        assert fit.parameter == pytest.approx(0.1, rel=0.2)
-
-    def test_degenerate_all_singletons(self):
-        fit = fit_tail([1, 1, 1, 1])
-        assert fit.family == "zipf"
-        assert fit.parameter == 0.0
+def lint_fixture(tmp_path: Path, relname: str, source: str,
+                 extra: dict | None = None) -> list[Finding]:
+    """Write fixture module(s) under tmp_path and lint the whole tree."""
+    files = {relname: source}
+    files.update(extra or {})
+    for name, text in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+    engine = LintEngine(all_rules(), root=tmp_path)
+    return engine.run([tmp_path]).findings
 
 
-class TestProfile:
-    def test_full_profile(self):
-        records = build_workload("specweb99", num_records=10_000,
-                                 footprint_pages=4096, seed=2)
-        profile = profile_trace(records)
-        assert profile.records == 10_000
-        assert profile.read_fraction > 0.95
-        assert 0 < profile.footprint_pages <= 4096
-        assert 0.0 < profile.top_1pct_mass <= 1.0
-        assert "reads" in profile.summary()
-
-    def test_skew_ordering_across_workloads(self):
-        """Hotter tails concentrate more access mass in the same number of
-        top pages (top-1%-of-footprint is not comparable across wildly
-        different footprints, so compare a fixed top-32 mass)."""
-        masses = {}
-        for name in ("uniform", "alpha2", "exp2"):
-            records = build_workload(name, num_records=15_000,
-                                     footprint_pages=8192, seed=3)
-            counts = popularity_counts(records)
-            masses[name] = sum(counts[:32]) / sum(counts)
-        assert masses["uniform"] < masses["alpha2"] < masses["exp2"]
-
-    def test_empty_trace_rejected(self):
-        with pytest.raises(ValueError):
-            profile_trace([])
+def codes(findings: list[Finding]) -> list[str]:
+    return [f.rule for f in findings]
 
 
-class TestEmpiricalPopularity:
-    def test_from_trace_probabilities(self):
-        records = [TraceRecord(0, OP_READ)] * 3 + [TraceRecord(9, OP_READ)]
-        dist = EmpiricalPopularity.from_trace(records)
-        assert dist.n == 2
-        assert dist.rank_probability(0) == pytest.approx(0.75)
-        assert dist.rank_probability(1) == pytest.approx(0.25)
+# ---------------------------------------------------------------------------
+# Engine mechanics
+# ---------------------------------------------------------------------------
 
-    @given(u=st.floats(min_value=0.0, max_value=0.999999))
-    def test_property_sampling_in_range(self, u):
-        dist = EmpiricalPopularity([10, 5, 2, 1])
-        assert 0 <= dist.sample_rank(u) < 4
 
-    def test_sampling_respects_mass(self):
-        dist = EmpiricalPopularity([99, 1])
-        assert dist.sample_rank(0.5) == 0
-        assert dist.sample_rank(0.995) == 1
+class TestEngine:
+    def test_module_name_derivation(self):
+        assert module_name_for_path(
+            Path("src/repro/core/cache.py")) == "repro.core.cache"
+        assert module_name_for_path(
+            Path("/tmp/x/repro/sim/engine.py")) == "repro.sim.engine"
+        assert module_name_for_path(
+            Path("src/repro/analysis/__init__.py")) == "repro.analysis"
+        assert module_name_for_path(Path("scratch.py")) == "scratch"
 
-    def test_feeds_density_optimizer(self):
-        """An empirical distribution plugs into the Figure 7 machinery."""
-        from repro.core.density import DensityPartitionOptimizer
-        records = build_workload("exp2", num_records=8_000,
-                                 footprint_pages=2048, seed=7)
-        optimizer = DensityPartitionOptimizer(
-            EmpiricalPopularity.from_trace(records))
-        point = optimizer.optimize(optimizer.working_set_area_mm2,
-                                   grid_points=21)
-        assert 0.0 <= point.optimal_slc_fraction <= 1.0
+    def test_syntax_error_becomes_finding(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/broken.py",
+                                "def f(:\n")
+        assert codes(findings) == ["SIM000"]
+        assert "syntax error" in findings[0].message
 
-    def test_rejects_empty(self):
-        with pytest.raises(ValueError):
-            EmpiricalPopularity([])
+    def test_relative_import_resolution(self, tmp_path):
+        # ``from ..parallel import derive_seed`` inside repro.faults.x
+        # must resolve to repro.parallel.derive_seed (an approved seed
+        # source for SIM002).
+        findings = lint_fixture(tmp_path, "repro/faults/inj.py", """
+            from random import Random
+            from ..parallel import derive_seed
+
+            def make(seed: int):
+                return Random(derive_seed(seed, "stream"))
+            """)
+        assert findings == []
+
+    def test_rule_registry_is_complete(self):
+        assert sorted(RULES) == [f"SIM{n:03d}" for n in range(1, 9)]
+        for code, cls in RULES.items():
+            assert cls.description, code
+            assert cls.severity in ("error", "warning")
+
+    def test_skip_file_pragma(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/gen.py", """
+            # simlint: skip-file
+            import time
+
+            def f():
+                return time.time()
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM001 — wall clock
+# ---------------------------------------------------------------------------
+
+
+class TestSim001WallClock:
+    def test_fires_in_simulation_package(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/clock.py", """
+            import time
+
+            def now():
+                return time.time()
+            """)
+        assert codes(findings) == ["SIM001"]
+        assert "simulated time" in findings[0].message
+
+    def test_fires_on_from_import_alias(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/timer.py", """
+            from time import perf_counter as pc
+
+            def elapsed():
+                return pc()
+            """)
+        assert codes(findings) == ["SIM001"]
+
+    def test_fires_on_datetime_now(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/stamp.py", """
+            from datetime import datetime
+
+            def stamp():
+                return datetime.now()
+            """)
+        assert codes(findings) == ["SIM001"]
+
+    def test_near_miss_method_named_time(self, tmp_path):
+        # A .time() method on a local object is not the wall clock.
+        findings = lint_fixture(tmp_path, "repro/sim/ok.py", """
+            def f(simclock):
+                return simclock.time()
+            """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/rep.py", """
+            import time
+
+            def footnote():
+                return time.perf_counter()  # simlint: ignore[SIM001] -- orchestration
+            """)
+        assert findings == []
+
+    def test_standalone_pragma_line_covers_next_line(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/rep2.py", """
+            import time
+
+            def footnote():
+                # simlint: ignore[SIM001] -- orchestration
+                return time.perf_counter()
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM002 — RNG seeding discipline
+# ---------------------------------------------------------------------------
+
+
+class TestSim002RngSeed:
+    def test_fires_on_unseeded_random(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/workloads/gen.py", """
+            from random import Random
+
+            def make():
+                return Random()
+            """)
+        assert codes(findings) == ["SIM002"]
+        assert "unseeded" in findings[0].message
+
+    def test_fires_on_global_random_function(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/workloads/gen2.py", """
+            import random
+
+            def draw():
+                return random.random()
+            """)
+        assert codes(findings) == ["SIM002"]
+        assert "process-global" in findings[0].message
+
+    def test_fires_on_module_level_rng(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/workloads/gen3.py", """
+            from random import Random
+
+            RNG = Random(1234)
+            """)
+        assert codes(findings) == ["SIM002"]
+        assert "module-level" in findings[0].message
+
+    def test_fires_on_seed_arithmetic(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/faults/gen4.py", """
+            from random import Random
+
+            def make(seed: int):
+                return Random((seed << 2) | 1)
+            """)
+        assert codes(findings) == ["SIM002"]
+        assert "derive_seed" in findings[0].message
+
+    def test_fires_on_numpy_global(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/workloads/gen5.py", """
+            import numpy as np
+
+            def draw(n: int):
+                return np.random.rand(n)
+            """)
+        assert codes(findings) == ["SIM002"]
+
+    def test_near_miss_explicit_seed_forms(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/workloads/ok.py", """
+            from random import Random
+            from repro.parallel import derive_seed
+
+            def a(seed: int):
+                return Random(seed)
+
+            def b(config):
+                return Random(config.seed)
+
+            def c(seed: int):
+                return Random(derive_seed(seed, "stream"))
+
+            def d():
+                return Random(1234)
+
+            def e(rng):
+                return rng.random()  # method on a local RNG, not global
+            """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/workloads/leg.py", """
+            from random import Random
+
+            def make(seed: int):
+                return Random(seed * 31)  # simlint: ignore[SIM002] -- legacy stream
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM003 — hash/order hazards
+# ---------------------------------------------------------------------------
+
+
+class TestSim003HashOrder:
+    def test_fires_on_hash_outside_dunder(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/workloads/h.py", """
+            def key(name: str) -> int:
+                return hash(name)
+            """)
+        assert codes(findings) == ["SIM003"]
+        assert "PYTHONHASHSEED" in findings[0].message
+
+    def test_fires_on_set_iteration(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/s.py", """
+            def walk(xs):
+                for x in set(xs):
+                    yield x
+            """)
+        assert codes(findings) == ["SIM003"]
+
+    def test_fires_on_list_of_set(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/s2.py", """
+            def order(xs):
+                return list(set(xs))
+            """)
+        assert codes(findings) == ["SIM003"]
+
+    def test_fires_on_id(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/telemetry/k.py", """
+            def key(obj):
+                return id(obj)
+            """)
+        assert codes(findings) == ["SIM003"]
+
+    def test_near_miss_dunder_hash_and_sorted(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/ok.py", """
+            class Key:
+                def __hash__(self) -> int:
+                    return hash((self.a, self.b))
+
+            def order(xs):
+                return sorted(set(xs))
+
+            def member(xs, x):
+                return x in set(xs)  # membership, not iteration
+            """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/p.py", """
+            def key(name: str) -> int:
+                return hash(name)  # simlint: ignore[SIM003] -- non-sim debug aid
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM004 — picklable sweep tasks
+# ---------------------------------------------------------------------------
+
+
+class TestSim004PicklableTask:
+    def test_fires_on_lambda_fn(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/t.py", """
+            from repro.parallel import SweepTask
+
+            def tasks():
+                return [SweepTask(key="a", fn=lambda: 1)]
+            """)
+        assert codes(findings) == ["SIM004"]
+        assert "lambda" in findings[0].message
+
+    def test_fires_on_closure_fn(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/t2.py", """
+            from repro.parallel import SweepTask
+
+            def tasks():
+                def run_one(seed: int) -> int:
+                    return seed
+                return [SweepTask(key="a", fn=run_one)]
+            """)
+        assert codes(findings) == ["SIM004"]
+        assert "nested" in findings[0].message
+
+    def test_fires_on_bound_method_fn(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/t3.py", """
+            from repro.parallel import SweepTask
+
+            class Grid:
+                def run(self) -> int:
+                    return 1
+
+                def tasks(self):
+                    return [SweepTask(key="a", fn=self.run)]
+            """)
+        assert codes(findings) == ["SIM004"]
+
+    def test_fires_on_lambda_in_kwargs(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/t4.py", """
+            from repro.parallel import SweepTask
+
+            def run_one(**kw):
+                return 0
+
+            def tasks():
+                return [SweepTask(key="a", fn=run_one,
+                                  kwargs={"hook": lambda v: v})]
+            """)
+        assert codes(findings) == ["SIM004"]
+
+    def test_near_miss_module_level_fn(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/ok.py", """
+            from repro.parallel import SweepTask
+            from repro.experiments import fig6_ecc
+
+            def run_one(seed: int) -> int:
+                return seed
+
+            def tasks():
+                return [
+                    SweepTask(key="a", fn=run_one, kwargs={"x": 1}),
+                    SweepTask(key="b", fn=fig6_ecc.main),
+                ]
+            """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/p.py", """
+            from repro.parallel import SweepTask
+
+            def tasks():
+                return [SweepTask(key="a", fn=lambda: 1)]  # simlint: ignore[SIM004] -- serial-only grid
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM005 — unit discipline
+# ---------------------------------------------------------------------------
+
+
+class TestSim005UnitMix:
+    def test_fires_on_addition_across_units(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/u.py", """
+            def total(latency_us: float, stall_ms: float) -> float:
+                return latency_us + stall_ms
+            """)
+        assert codes(findings) == ["SIM005"]
+        assert "_us" in findings[0].message and "_ms" in findings[0].message
+
+    def test_fires_on_comparison_across_units(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/u2.py", """
+            def slow(latency_us: float, budget_s: float) -> bool:
+                return latency_us > budget_s
+            """)
+        assert codes(findings) == ["SIM005"]
+
+    def test_fires_on_assignment_across_units(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/u3.py", """
+            def convert(total_us: float) -> float:
+                total_ms = total_us
+                return total_ms
+            """)
+        assert codes(findings) == ["SIM005"]
+
+    def test_fires_on_keyword_across_units(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/u4.py", """
+            def record(hist, elapsed_ms: float):
+                hist.observe(latency_us=elapsed_ms)
+            """)
+        assert codes(findings) == ["SIM005"]
+
+    def test_near_miss_same_unit_and_conversions(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/ok.py", """
+            def f(a_us: float, b_us: float) -> float:
+                return a_us + b_us
+
+            def g(a_us: float, b_s: float) -> float:
+                return a_us + b_s * 1e6  # factor clears the unit
+
+            def h(x_ms: float) -> float:
+                total_us = ms_to_us(x_ms)  # conversion call carries unit
+                return total_us
+
+            def ms_to_us(v: float) -> float:
+                return v * 1e3
+            """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/p.py", """
+            def f(a_us: float, b_ms: float) -> float:
+                return a_us + b_ms  # simlint: ignore[SIM005] -- unit checked upstream
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM006 — telemetry guards
+# ---------------------------------------------------------------------------
+
+
+class TestSim006TelemetryGuard:
+    def test_fires_on_unguarded_attribute_call(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/hot.py", """
+            class Cache:
+                def read(self, lba: int) -> None:
+                    self.telemetry.flash_read(1.0, 0, False)
+            """)
+        assert codes(findings) == ["SIM006"]
+        assert "unguarded" in findings[0].message
+
+    def test_fires_on_unguarded_local_call(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/flash/hot2.py", """
+            class Device:
+                def read(self) -> None:
+                    telemetry = self.telemetry
+                    telemetry.page_read(0)
+            """)
+        assert codes(findings) == ["SIM006"]
+
+    def test_near_miss_guarded_patterns(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/ok.py", """
+            class Cache:
+                def read(self, lba: int) -> None:
+                    telemetry = self.telemetry
+                    if telemetry is not None:
+                        telemetry.flash_read(1.0, 0, False)
+
+                def reconfig(self, kind: str) -> None:
+                    if self.telemetry is not None:
+                        self.telemetry.reconfig(kind)
+
+                def gc(self) -> None:
+                    t = self.telemetry
+                    telemetry = t
+                    telemetry is not None and telemetry.gc(1)
+            """)
+        assert findings == []
+
+    def test_near_miss_inverted_guard(self, tmp_path):
+        # ``if telemetry is None: ... else: telemetry.attach(...)`` — the
+        # run_trace shape: the orelse branch is the guarded one.
+        findings = lint_fixture(tmp_path, "repro/sim/run.py", """
+            def run(system, telemetry=None):
+                if telemetry is None:
+                    system.run()
+                else:
+                    telemetry.attach(system)
+                    system.run()
+            """)
+        assert findings == []
+
+    def test_near_miss_outside_hot_packages(self, tmp_path):
+        # Experiments aggregate telemetry after the run; no guard needed.
+        findings = lint_fixture(tmp_path, "repro/experiments/agg.py", """
+            def collect(handle):
+                handle.telemetry.export()
+            """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/p.py", """
+            class Cache:
+                def read(self) -> None:
+                    self.telemetry.flash_read(1.0)  # simlint: ignore[SIM006] -- cold path
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM007 — dead counters
+# ---------------------------------------------------------------------------
+
+
+class TestSim007DeadCounter:
+    def test_fires_on_never_written_field(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/stats.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class ControllerStats:
+                reads: int = 0
+                phantom_counter: int = 0
+
+            class Controller:
+                def read(self) -> None:
+                    self.stats.reads += 1
+            """)
+        assert codes(findings) == ["SIM007"]
+        assert "phantom_counter" in findings[0].message
+        assert findings[0].severity == "warning"
+
+    def test_near_miss_written_in_other_module(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/stats.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class CacheStats:
+                remote_hits: int = 0
+            """, extra={"repro/sim/driver.py": """
+            def drive(cache) -> None:
+                cache.stats.remote_hits += 1
+            """})
+        assert findings == []
+
+    def test_near_miss_written_via_constructor_kwarg(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/rep.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class SimulationReport:
+                requests: int = 0
+
+            def build() -> SimulationReport:
+                return SimulationReport(requests=7)
+            """)
+        assert findings == []
+
+    def test_non_stats_classes_ignored(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/cfg.py", """
+            from dataclasses import dataclass
+
+            @dataclass
+            class SomeConfig:
+                never_written_anywhere: int = 0
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM008 — exception discipline
+# ---------------------------------------------------------------------------
+
+
+class TestSim008ExceptionDiscipline:
+    def test_fires_on_bare_except(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/x.py", """
+            def f():
+                try:
+                    risky()
+                except:
+                    return None
+            """)
+        assert codes(findings) == ["SIM008"]
+        assert "bare" in findings[0].message
+
+    def test_fires_on_swallowed_core_error(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/x2.py", """
+            from repro.core.errors import CacheDegradedError
+
+            def f(cache):
+                try:
+                    cache.read(0)
+                except CacheDegradedError:
+                    pass
+            """)
+        assert codes(findings) == ["SIM008"]
+        assert "swallowed" in findings[0].message
+
+    def test_fires_on_except_exception_pass(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/x3.py", """
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """)
+        assert codes(findings) == ["SIM008"]
+
+    def test_near_miss_handled_core_error(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/ok.py", """
+            from .errors import CacheDegradedError
+
+            def f(cache):
+                try:
+                    cache.read(0)
+                except CacheDegradedError:
+                    cache.stats.degraded_events += 1
+                except ValueError:
+                    pass
+            """)
+        assert findings == []
+
+    def test_near_miss_outside_core_packages(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/x.py", """
+            def f():
+                try:
+                    risky()
+                except Exception:
+                    pass
+            """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/p.py", """
+            def f():
+                try:
+                    risky()
+                except Exception:  # simlint: ignore[SIM008] -- boundary shim
+                    pass
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# Baseline round-trip
+# ---------------------------------------------------------------------------
+
+
+class TestBaseline:
+    def _dirty_tree(self, tmp_path: Path) -> list[Finding]:
+        return lint_fixture(tmp_path, "repro/sim/dirty.py", """
+            import time
+
+            def a():
+                return time.time()
+
+            def b():
+                return time.time()
+            """)
+
+    def test_round_trip_suppresses_recorded_findings(self, tmp_path):
+        findings = self._dirty_tree(tmp_path)
+        assert codes(findings) == ["SIM001", "SIM001"]
+        baseline_path = tmp_path / "baseline.json"
+        entries = write_baseline(baseline_path, findings)
+        assert entries == 1  # two identical findings fold into one entry
+        baseline = load_baseline(baseline_path)
+        fresh, suppressed = apply_baseline(findings, baseline)
+        assert fresh == [] and suppressed == 2
+
+    def test_new_finding_escapes_baseline(self, tmp_path):
+        findings = self._dirty_tree(tmp_path)
+        baseline_path = tmp_path / "baseline.json"
+        write_baseline(baseline_path, findings[:1])
+        # Baseline recorded count=1; the second identical finding is new.
+        baseline = load_baseline(baseline_path)
+        fresh, suppressed = apply_baseline(findings, baseline)
+        assert len(fresh) == 1 and suppressed == 1
+
+    def test_missing_baseline_is_empty(self, tmp_path):
+        assert load_baseline(tmp_path / "absent.json") == {}
+
+    def test_cli_baseline_flow(self, tmp_path, monkeypatch, capsys):
+        self._dirty_tree(tmp_path)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["repro"]) == 1
+        assert lint_main(["repro", "--write-baseline"]) == 0
+        assert (tmp_path / DEFAULT_BASELINE).exists()
+        assert lint_main(["repro", "--baseline"]) == 0
+        capsys.readouterr()
+
+
+# ---------------------------------------------------------------------------
+# CLI + meta-invariants
+# ---------------------------------------------------------------------------
+
+
+class TestCliAndMeta:
+    def test_list_rules(self, capsys):
+        assert lint_main(["--list-rules"]) == 0
+        out = capsys.readouterr().out
+        for code in RULES:
+            assert code in out
+
+    def test_json_format(self, tmp_path, capsys):
+        (tmp_path / "repro" / "sim").mkdir(parents=True)
+        (tmp_path / "repro" / "sim" / "m.py").write_text(
+            "import time\n\ndef f():\n    return time.time()\n")
+        assert lint_main([str(tmp_path), "--format", "json"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["summary"]["errors"] == 1
+        assert document["summary"]["by_rule"] == {"SIM001": 1}
+        assert document["findings"][0]["rule"] == "SIM001"
+
+    def test_missing_path_is_usage_error(self, capsys):
+        assert lint_main(["definitely/not/a/path"]) == 2
+        capsys.readouterr()
+
+    def test_committed_tree_lints_clean(self):
+        """`repro lint src/` must exit 0 on the committed tree."""
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(REPO_ROOT / "src") + (
+            os.pathsep + env["PYTHONPATH"] if env.get("PYTHONPATH") else "")
+        proc = subprocess.run(
+            [sys.executable, "-m", "repro", "lint", "src",
+             "--format", "json"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr
+        document = json.loads(proc.stdout)
+        assert document["summary"]["errors"] == 0
+        assert document["summary"]["warnings"] == 0
+
+    def test_committed_baseline_is_empty(self):
+        baseline = load_baseline(REPO_ROOT / DEFAULT_BASELINE)
+        assert sum(baseline.values()) == 0
+
+    def test_lint_paths_api(self):
+        result = lint_paths([REPO_ROOT / "src" / "repro" / "analysis"],
+                            root=REPO_ROOT)
+        assert result.findings == []
+        assert result.files >= 5
+
+    def test_scoped_mypy_passes(self):
+        """CI's scoped mypy gate, runnable locally when mypy exists."""
+        pytest.importorskip("mypy")
+        env = dict(os.environ)
+        env["MYPYPATH"] = str(REPO_ROOT / "src")
+        proc = subprocess.run(
+            [sys.executable, "-m", "mypy", "-p", "repro.core",
+             "-p", "repro.parallel"],
+            cwd=REPO_ROOT, env=env, capture_output=True, text=True)
+        assert proc.returncode == 0, proc.stdout + proc.stderr

@@ -1,0 +1,111 @@
+"""Trace-analysis tests: profiling, tail classification, empirical
+popularity distributions."""
+
+from __future__ import annotations
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads.analysis import (
+    EmpiricalPopularity,
+    fit_tail,
+    popularity_counts,
+    profile_trace,
+)
+from repro.workloads.macro import build_workload
+from repro.workloads.trace import OP_READ, OP_WRITE, TraceRecord
+
+
+class TestPopularityCounts:
+    def test_counts_sorted_descending(self):
+        records = [TraceRecord(0, OP_READ)] * 5 + [TraceRecord(1, OP_READ)]
+        assert popularity_counts(records) == [5, 1]
+
+    def test_extents_expand(self):
+        records = [TraceRecord(0, OP_WRITE, pages=3)]
+        assert popularity_counts(records) == [1, 1, 1]
+
+
+class TestTailFit:
+    def test_recovers_zipf_parameter(self):
+        records = build_workload("alpha2", num_records=30_000,
+                                 footprint_pages=8192, seed=4)
+        fit = fit_tail(popularity_counts(records))
+        assert fit.family == "zipf"
+        assert fit.is_long_tailed
+        assert 0.8 < fit.parameter < 1.5  # generator alpha = 1.2
+
+    def test_recovers_exponential_parameter(self):
+        records = build_workload("exp2", num_records=30_000,
+                                 footprint_pages=8192, seed=4)
+        fit = fit_tail(popularity_counts(records))
+        assert fit.family == "exponential"
+        assert not fit.is_long_tailed
+        assert fit.parameter == pytest.approx(0.1, rel=0.2)
+
+    def test_degenerate_all_singletons(self):
+        fit = fit_tail([1, 1, 1, 1])
+        assert fit.family == "zipf"
+        assert fit.parameter == 0.0
+
+
+class TestProfile:
+    def test_full_profile(self):
+        records = build_workload("specweb99", num_records=10_000,
+                                 footprint_pages=4096, seed=2)
+        profile = profile_trace(records)
+        assert profile.records == 10_000
+        assert profile.read_fraction > 0.95
+        assert 0 < profile.footprint_pages <= 4096
+        assert 0.0 < profile.top_1pct_mass <= 1.0
+        assert "reads" in profile.summary()
+
+    def test_skew_ordering_across_workloads(self):
+        """Hotter tails concentrate more access mass in the same number of
+        top pages (top-1%-of-footprint is not comparable across wildly
+        different footprints, so compare a fixed top-32 mass)."""
+        masses = {}
+        for name in ("uniform", "alpha2", "exp2"):
+            records = build_workload(name, num_records=15_000,
+                                     footprint_pages=8192, seed=3)
+            counts = popularity_counts(records)
+            masses[name] = sum(counts[:32]) / sum(counts)
+        assert masses["uniform"] < masses["alpha2"] < masses["exp2"]
+
+    def test_empty_trace_rejected(self):
+        with pytest.raises(ValueError):
+            profile_trace([])
+
+
+class TestEmpiricalPopularity:
+    def test_from_trace_probabilities(self):
+        records = [TraceRecord(0, OP_READ)] * 3 + [TraceRecord(9, OP_READ)]
+        dist = EmpiricalPopularity.from_trace(records)
+        assert dist.n == 2
+        assert dist.rank_probability(0) == pytest.approx(0.75)
+        assert dist.rank_probability(1) == pytest.approx(0.25)
+
+    @given(u=st.floats(min_value=0.0, max_value=0.999999))
+    def test_property_sampling_in_range(self, u):
+        dist = EmpiricalPopularity([10, 5, 2, 1])
+        assert 0 <= dist.sample_rank(u) < 4
+
+    def test_sampling_respects_mass(self):
+        dist = EmpiricalPopularity([99, 1])
+        assert dist.sample_rank(0.5) == 0
+        assert dist.sample_rank(0.995) == 1
+
+    def test_feeds_density_optimizer(self):
+        """An empirical distribution plugs into the Figure 7 machinery."""
+        from repro.core.density import DensityPartitionOptimizer
+        records = build_workload("exp2", num_records=8_000,
+                                 footprint_pages=2048, seed=7)
+        optimizer = DensityPartitionOptimizer(
+            EmpiricalPopularity.from_trace(records))
+        point = optimizer.optimize(optimizer.working_set_area_mm2,
+                                   grid_points=21)
+        assert 0.0 <= point.optimal_slc_fraction <= 1.0
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError):
+            EmpiricalPopularity([])
