@@ -49,6 +49,32 @@ def test_quick_sweep_document_identical_across_workers():
     assert serial["figures"] == parallel["figures"]
 
 
+def test_resume_replay_is_near_free(tmp_path):
+    """Resuming a fully journaled sweep replays instead of recomputing:
+    the figures are identical and the replay costs a small fraction of
+    the original run."""
+    scale = ReportScale.quick()
+    figures = ["fig6", "fig1b"]
+    journal = str(tmp_path / "sweep.jsonl")
+
+    started = time.perf_counter()
+    fresh = run_sweep(figures=figures, scale=scale, workers=2,
+                      journal_path=journal)
+    fresh_s = time.perf_counter() - started
+
+    started = time.perf_counter()
+    resumed = run_sweep(figures=figures, scale=scale, workers=2,
+                        journal_path=journal, resume=True)
+    resumed_s = time.perf_counter() - started
+
+    print(f"\nresume replay: fresh {fresh_s:.2f}s, "
+          f"resumed {resumed_s:.2f}s "
+          f"({resumed['meta']['resumed_tasks']} tasks replayed)")
+    assert resumed["figures"] == fresh["figures"]
+    assert resumed["meta"]["resumed_tasks"] == fresh["meta"]["tasks"]
+    assert resumed_s < max(fresh_s * 0.5, 1.0)
+
+
 @pytest.mark.skipif((os.cpu_count() or 1) < 4,
                     reason="speedup needs >= 4 physical cores; "
                            f"this machine has {os.cpu_count()}")

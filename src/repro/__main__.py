@@ -14,7 +14,10 @@ Commands
                            out across processes)
 ``sweep``                  run figure grids through the parallel sweep
                            runner and emit one aggregated JSON document
-                           (``--workers N``, ``--figures``, ``--out``)
+                           (``--workers N``, ``--figures``, ``--out``;
+                           ``--journal``/``--resume`` checkpoint the run
+                           so it survives crashes, ``--timeout`` /
+                           ``--retries`` bound and retry stuck tasks)
 ``lint [paths...]``        run simlint, the AST-based invariant linter
                            (``--format json``, ``--baseline``,
                            ``--list-rules``; see DESIGN.md section 10)
@@ -103,6 +106,24 @@ def _build_parser() -> argparse.ArgumentParser:
     sweep.add_argument("--out", default=None, metavar="PATH",
                        help="write the aggregated JSON document here "
                             "(default: stdout)")
+    sweep.add_argument("--journal", default=None, metavar="PATH",
+                       help="record finished tasks in an append-only "
+                            "JSONL journal so an interrupted sweep can "
+                            "be resumed")
+    sweep.add_argument("--resume", default=None, metavar="PATH",
+                       help="resume from an existing journal: completed "
+                            "tasks are replayed, the rest re-run, and "
+                            "the output is byte-identical to an "
+                            "uninterrupted run (implies --journal PATH)")
+    sweep.add_argument("--timeout", type=float, default=None,
+                       metavar="SECONDS",
+                       help="per-task deadline; an overrunning task's "
+                            "worker is killed and the task retried or "
+                            "failed (needs --workers >= 2)")
+    sweep.add_argument("--retries", type=int, default=0,
+                       help="per-task retry budget for transient "
+                            "failures (timeouts, worker crashes, "
+                            "changing exceptions); default 0")
     sweep.add_argument("--quiet", action="store_true",
                        help="suppress per-task progress lines")
 
@@ -215,20 +236,38 @@ def _sweep_command(args: argparse.Namespace) -> int:
             print(f"[{done}/{total}] {result.key}: {status} "
                   f"({result.elapsed_s:.1f}s)", file=sys.stderr)
 
+    journal_path = args.journal
+    resume = False
+    if args.resume is not None:
+        if journal_path is not None and journal_path != args.resume:
+            print("error: --journal and --resume name different files",
+                  file=sys.stderr)
+            return 2
+        journal_path, resume = args.resume, True
+
     try:
         document = run_sweep(figures=args.figures,
                              scale=_SCALES[args.scale](),
                              workers=args.workers,
-                             progress=progress)
+                             progress=progress,
+                             journal_path=journal_path,
+                             resume=resume,
+                             timeout_s=args.timeout,
+                             retries=args.retries)
     except KeyError as exc:
         print(f"error: {exc.args[0]}", file=sys.stderr)
         return 2
+    except (FileNotFoundError, ValueError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
     payload = json.dumps(document, indent=2, sort_keys=True)
     if args.out is not None:
-        with open(args.out, "w", encoding="utf-8") as handle:
-            handle.write(payload + "\n")
+        from .atomicio import atomic_write_text
+
+        atomic_write_text(args.out, payload + "\n")
         meta = document["meta"]
         print(f"sweep: {meta['tasks']} tasks, {meta['workers']} workers, "
+              f"{meta['resumed_tasks']} resumed, "
               f"{meta['elapsed_s']}s -> {args.out}", file=sys.stderr)
     else:
         print(payload)

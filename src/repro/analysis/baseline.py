@@ -22,6 +22,7 @@ from collections import Counter
 from pathlib import Path
 from typing import Dict, List, Tuple
 
+from ..atomicio import atomic_write_text
 from .engine import Finding
 
 __all__ = ["DEFAULT_BASELINE", "load_baseline", "write_baseline",
@@ -61,8 +62,8 @@ def write_baseline(path: Path, findings: List[Finding]) -> int:
             entry["count"] = count
         entries.append(entry)
     document = {"version": 1, "findings": entries}
-    path.write_text(json.dumps(document, indent=2, sort_keys=True) + "\n",
-                    encoding="utf-8")
+    atomic_write_text(path, json.dumps(document, indent=2, sort_keys=True)
+                      + "\n")
     return len(entries)
 
 

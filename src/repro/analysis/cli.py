@@ -12,6 +12,7 @@ import sys
 from pathlib import Path
 from typing import List, Optional
 
+from ..atomicio import atomic_write_text
 from .baseline import (
     DEFAULT_BASELINE,
     apply_baseline,
@@ -80,7 +81,7 @@ def run_lint_command(args: argparse.Namespace) -> int:
     renderer = render_json if args.format == "json" else render_text
     report = renderer(findings, result.files, suppressed)
     if args.out is not None:
-        Path(args.out).write_text(report + "\n", encoding="utf-8")
+        atomic_write_text(args.out, report + "\n")
     else:
         print(report)
 

@@ -1,4 +1,4 @@
-"""The simlint rule battery (SIM001..SIM008).
+"""The simlint rule battery (SIM001..SIM009).
 
 Each rule encodes one invariant the simulator's determinism, spawn
 safety, or bookkeeping depends on.  DESIGN.md section 10 documents the
@@ -755,3 +755,79 @@ class ExceptionDisciplineRule(Rule):
                       if not (isinstance(stmt, ast.Expr)
                               and isinstance(stmt.value, ast.Constant))]
         return all(isinstance(stmt, ast.Pass) for stmt in meaningful)
+
+
+# ---------------------------------------------------------------------------
+# SIM009 — atomic artifact writes
+# ---------------------------------------------------------------------------
+
+#: The sanctioned tmp + os.replace implementation lives here; its own
+#: internal ``open(tmp, "w")`` is the mechanism, not a violation.
+_ATOMICIO_MODULE = "repro.atomicio"
+
+
+@register
+class AtomicWriteRule(Rule):
+    """Artifacts are written atomically, or the write is pragma'd.
+
+    A bare ``open(path, "w")`` (or ``Path.write_text``) truncates the
+    destination before writing, so a crash mid-write destroys the
+    previous artifact *and* leaves a torn new one — the resilience
+    layer's checkpoint/resume guarantees are only as strong as the
+    weakest artifact write.  :mod:`repro.atomicio` provides the
+    ``tmp + os.replace`` discipline; append mode is exempt (the sweep
+    journal's fsync'd appends are a reviewed durability design of their
+    own), as is the atomicio module itself.
+    """
+
+    code = "SIM009"
+    name = "atomic-write"
+    severity = "error"
+    description = ("truncating file writes (open(..., 'w'/'wb'/'x'), "
+                   "Path.write_text/write_bytes) must go through "
+                   "repro.atomicio or carry a pragma; append mode is "
+                   "exempt")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if ctx.in_packages((_ATOMICIO_MODULE,)):
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if self._is_truncating_open(node, ctx):
+                yield self.finding(
+                    ctx, node,
+                    "open(..., 'w') truncates before writing; a crash "
+                    "mid-write loses both old and new artifact — use "
+                    "repro.atomicio.atomic_write_text/bytes (or pragma "
+                    "a reviewed exception)")
+            elif self._is_path_write(node):
+                method = node.func.attr  # type: ignore[union-attr]
+                yield self.finding(
+                    ctx, node,
+                    f".{method}() truncates before writing; use "
+                    "repro.atomicio.atomic_write_text/bytes (or pragma "
+                    "a reviewed exception)")
+
+    @classmethod
+    def _is_truncating_open(cls, node: ast.Call,
+                            ctx: ModuleContext) -> bool:
+        func = node.func
+        if isinstance(func, ast.Name):
+            if func.id != "open" or ctx.imports.resolve("open") is not None:
+                return False
+        elif _call_name(node, ctx) not in ("io.open", "pathlib.Path.open"):
+            return False
+        mode = node.args[1] if len(node.args) >= 2 else None
+        for kw in node.keywords:
+            if kw.arg == "mode":
+                mode = kw.value
+        if not isinstance(mode, ast.Constant) or not isinstance(
+                mode.value, str):
+            return False  # default "r", or dynamic (cannot judge)
+        return any(flag in mode.value for flag in ("w", "x"))
+
+    @staticmethod
+    def _is_path_write(node: ast.Call) -> bool:
+        return (isinstance(node.func, ast.Attribute)
+                and node.func.attr in ("write_text", "write_bytes"))

@@ -1,0 +1,62 @@
+"""Atomic artifact writes: temp file in the same directory + ``os.replace``.
+
+Every JSON/CSV/markdown artifact the tooling writes (telemetry dumps,
+sweep documents, lint reports, baselines) must be readable or absent —
+never truncated.  A crash mid-``write()`` with a bare ``open(path, "w")``
+leaves a torn file that a later ``--resume`` or CI diff step would read
+as corrupt data, so artifact writes go through this module instead: the
+content lands in ``<path>.tmp`` beside the destination (same filesystem,
+so the final rename cannot cross a device boundary), is flushed and
+fsync'd, and only then renamed over the destination with ``os.replace``,
+which POSIX and Windows both guarantee to be atomic.
+
+simlint rule SIM009 enforces the discipline: a bare ``open(..., "w")``
+or ``Path.write_text`` in orchestration code is a lint error pointing
+here.  This module itself is the sanctioned implementation and is exempt
+from the rule.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Union
+
+__all__ = ["atomic_write_text", "atomic_write_bytes"]
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _tmp_name(path: _PathLike) -> str:
+    # Same directory as the destination so os.replace stays on one
+    # filesystem; pid-suffixed so two processes writing the same
+    # artifact cannot clobber each other's temp file.
+    return f"{os.fspath(path)}.tmp.{os.getpid()}"
+
+
+def atomic_write_text(path: _PathLike, content: str,
+                      encoding: str = "utf-8") -> None:
+    """Write *content* to *path* atomically (all of it, or none of it)."""
+    tmp = _tmp_name(path)
+    try:
+        with open(tmp, "w", encoding=encoding) as stream:
+            stream.write(content)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - only on write failure
+            os.unlink(tmp)
+
+
+def atomic_write_bytes(path: _PathLike, content: bytes) -> None:
+    """Binary twin of :func:`atomic_write_text`."""
+    tmp = _tmp_name(path)
+    try:
+        with open(tmp, "wb") as stream:
+            stream.write(content)
+            stream.flush()
+            os.fsync(stream.fileno())
+        os.replace(tmp, path)
+    finally:
+        if os.path.exists(tmp):  # pragma: no cover - only on write failure
+            os.unlink(tmp)

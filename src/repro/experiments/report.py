@@ -43,6 +43,12 @@ class ReportScale:
         return cls(scale_divisor=32, trace_records=600_000,
                    aging_blocks=16, aging_frames=8)
 
+    def fingerprint(self) -> str:
+        """Stable text identity, folded into sweep journal ids so a
+        journal written at one scale cannot resume another."""
+        return (f"scale={self.scale_divisor}:{self.trace_records}:"
+                f"{self.aging_blocks}:{self.aging_frames}")
+
 
 def _section_fig1b(out: io.StringIO, scale: ReportScale,
                    workers: int = 1) -> None:

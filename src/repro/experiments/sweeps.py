@@ -8,6 +8,15 @@ JSON-ready data.  ``repro sweep`` flattens the selected grids into one
 task list, fans it out through :func:`repro.parallel.sweep`, and writes
 the aggregated document — so a 4-worker run of the full selection
 produces byte-identical JSON to ``--workers 1``.
+
+Resilience (DESIGN.md section 12): the flattened task list and the
+scale/figure selection define a stable ``sweep_id``; with
+``journal_path`` set, every finished task is recorded in a
+:class:`~repro.parallel.SweepJournal` under that id, and
+``resume=True`` replays the journal's completed tasks so an interrupted
+sweep continues where it died — with ``document["figures"]``
+byte-identical to an uninterrupted run's.  ``timeout_s`` and ``retries``
+configure the runner's :class:`~repro.parallel.RetryPolicy`.
 """
 
 from __future__ import annotations
@@ -16,7 +25,14 @@ import time
 from dataclasses import asdict, dataclass
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..parallel import SweepResult, SweepTask, sweep
+from ..parallel import (
+    RetryPolicy,
+    SweepJournal,
+    SweepResult,
+    SweepTask,
+    compute_sweep_id,
+    sweep,
+)
 from . import (
     fig1b_gc,
     fig4_split,
@@ -178,17 +194,43 @@ SWEEPS: Dict[str, SweepSpec] = {
 }
 
 
+def sweep_id_for(selected: Sequence[str], scale: ReportScale,
+                 tasks: Sequence[SweepTask]) -> str:
+    """Identity of one configured sweep, for journal ownership checks.
+
+    Folds the figure selection and the scale fingerprint into the label
+    and every task's key/kwargs/seed into the digest, so a journal can
+    only resume a sweep that would recompute the very same grid.
+    """
+    label = f"figures={','.join(selected)}|{scale.fingerprint()}"
+    return compute_sweep_id(tasks, label=label)
+
+
 def run_sweep(figures: Optional[Sequence[str]] = None,
               scale: Optional[ReportScale] = None,
               workers: int = 1,
               progress: Optional[Callable[[SweepResult, int, int], None]]
-              = None) -> Dict[str, Any]:
+              = None,
+              journal_path: Optional[str] = None,
+              resume: bool = False,
+              timeout_s: Optional[float] = None,
+              retries: int = 0) -> Dict[str, Any]:
     """Run the selected figure grids as one flattened parallel sweep.
 
     Returns a JSON-ready document: per-figure combined series plus a
-    ``meta`` block (worker count, per-figure task counts and timings,
-    and any failed task keys with their tracebacks).  A figure whose
-    tasks failed reports its error instead of aborting the others.
+    ``meta`` block (worker count, sweep id, per-figure task counts and
+    timings, resume statistics, and any failed task keys with their
+    tracebacks).  A figure whose tasks failed reports its error instead
+    of aborting the others.
+
+    ``journal_path`` makes the sweep durable; ``resume=True`` requires
+    the journal to exist and to belong to this exact sweep (same
+    figures, scale, and grids), replays its completed tasks, and re-runs
+    only the rest.  The determinism contract extends to resumption:
+    ``document["figures"]`` is byte-identical between an uninterrupted
+    run and any interrupt/resume sequence.  ``meta`` carries volatile
+    orchestration facts (elapsed time, resumed-task count) and is
+    excluded from that contract.
     """
     scale = scale or ReportScale()
     selected = list(figures or SWEEPS)
@@ -199,19 +241,41 @@ def run_sweep(figures: Optional[Sequence[str]] = None,
     grids = {name: SWEEPS[name].build(scale) for name in selected}
     flat: List[SweepTask] = [task for name in selected
                              for task in grids[name]]
+    sweep_id = sweep_id_for(selected, scale, flat)
+
+    journal: Optional[SweepJournal] = None
+    replayed = 0
+    if resume and journal_path is None:
+        raise ValueError("resume=True requires a journal path")
+    if journal_path is not None:
+        if resume:
+            journal = SweepJournal.resume(journal_path, sweep_id)
+            replayed = sum(1 for e in journal.entries
+                           if e["status"] == "ok")
+        else:
+            journal = SweepJournal.create(journal_path, sweep_id)
+
+    policy = RetryPolicy(retries=retries, timeout_s=timeout_s)
     started = time.perf_counter()  # simlint: ignore[SIM001] -- sweep elapsed metadata
-    results = sweep(flat, workers=workers, progress=progress)
+    results = sweep(flat, workers=workers, progress=progress,
+                    policy=policy, journal=journal)
     elapsed = time.perf_counter() - started  # simlint: ignore[SIM001] -- sweep elapsed metadata
 
     document: Dict[str, Any] = {
         "meta": {
             "workers": workers,
+            "sweep_id": sweep_id,
             "scale_divisor": scale.scale_divisor,
             "trace_records": scale.trace_records,
             "figures": selected,
             "tasks": len(flat),
+            "resumed_tasks": replayed,
+            "retries": retries,
+            "timeout_s": timeout_s,
             "elapsed_s": round(elapsed, 3),
             "errors": {r.key: r.error for r in results if not r.ok},
+            "attempts": {r.key: r.attempts for r in results
+                         if r.attempts > 1},
         },
         "figures": {},
     }

@@ -28,8 +28,24 @@ Every ``repro.experiments.fig*`` module exposes a pure
 ``tasks()``/``combine()`` pair built on these types; both the historical
 serial entry points and ``repro sweep --workers N`` consume the same
 pair, which is what makes the parallel==serial equivalence testable.
+
+Resilience layer (DESIGN.md section 12):
+
+* :class:`~repro.parallel.checkpoint.SweepJournal` /
+  :func:`~repro.parallel.checkpoint.compute_sweep_id` — append-only
+  JSONL completion journal behind ``repro sweep --journal/--resume``;
+  resumed sweeps replay completed tasks and aggregate byte-identically
+  to an uninterrupted run;
+* :class:`~repro.parallel.retry.RetryPolicy` /
+  :class:`~repro.parallel.retry.TaskFailure` — per-task timeouts and
+  retries with deterministic, :func:`derive_seed`-jittered backoff and
+  a transient/deterministic failure taxonomy;
+* :mod:`~repro.parallel.chaos` — deterministic worker-crash / hang /
+  journal-truncation injection for the runner's own tests.
 """
 
+from .checkpoint import SweepJournal, compute_sweep_id, kwargs_hash
+from .retry import RetryPolicy, TaskFailure
 from .runner import (
     SweepError,
     SweepResult,
@@ -40,10 +56,15 @@ from .runner import (
 )
 
 __all__ = [
+    "RetryPolicy",
     "SweepError",
+    "SweepJournal",
     "SweepResult",
     "SweepTask",
+    "TaskFailure",
+    "compute_sweep_id",
     "derive_seed",
+    "kwargs_hash",
     "merge_telemetry",
     "sweep",
 ]

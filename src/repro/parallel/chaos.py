@@ -1,0 +1,130 @@
+"""Self-chaos harness: deterministic failure injection for the runner.
+
+The simulator's fault injector (:mod:`repro.faults`) exercises the
+*modelled* system's failure paths; this module does the same for the
+sweep runner itself.  It provides module-level (hence picklable, hence
+``SweepTask``-legal) task functions that fail in the three ways the
+resilience layer must survive — worker death, hangs, and in-task
+exceptions — plus a journal-truncation helper for crash-recovery tests.
+
+Everything is deterministic in the :mod:`repro.faults` style: whether an
+attempt fails is decided by on-disk attempt markers (a file per
+``(key, attempt)`` under a caller-supplied state directory), never by
+RNG draws or wall-clock races, so a chaos test's k-th attempt behaves
+identically on every machine and every rerun.  The state directory is
+the cross-process channel: worker processes cannot share memory with the
+test, but they do share the filesystem.
+"""
+
+from __future__ import annotations
+
+import os
+import signal
+import time
+from pathlib import Path
+from typing import Union
+
+__all__ = ["echo", "slow_echo", "kill_worker", "crash_until_attempt",
+           "fail_always", "fail_until_attempt", "hang",
+           "truncate_journal_tail"]
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _mark_attempt(state_dir: str, key: str) -> int:
+    """Record one attempt of *key*; returns this attempt's 1-based number."""
+    root = Path(state_dir)
+    root.mkdir(parents=True, exist_ok=True)
+    attempt = 1
+    while True:
+        marker = root / f"{key}.attempt{attempt}"
+        try:
+            marker.touch(exist_ok=False)
+            return attempt
+        except FileExistsError:
+            attempt += 1
+
+
+def echo(value: int, state_dir: str = "", key: str = "") -> int:
+    """Succeed immediately; marks an attempt when given a state dir."""
+    if state_dir:
+        _mark_attempt(state_dir, key or f"echo-{value}")
+    return value
+
+
+def slow_echo(value: int, delay_s: float = 0.2, state_dir: str = "",
+              key: str = "") -> int:
+    """Succeed after sleeping — makes a parent-SIGKILL window for tests."""
+    if state_dir:
+        _mark_attempt(state_dir, key or f"slow-{value}")
+    time.sleep(delay_s)
+    return value
+
+
+def kill_worker(value: int = 0) -> int:
+    """Die the way an OOM-killed worker dies: SIGKILL, no cleanup."""
+    os.kill(os.getpid(), signal.SIGKILL)
+    return value  # pragma: no cover - unreachable
+
+
+def crash_until_attempt(state_dir: str, key: str, succeed_at: int,
+                        value: int = 0) -> int:
+    """SIGKILL the worker until attempt *succeed_at*, then return *value*.
+
+    Models a transiently dying worker (flaky node, memory pressure): the
+    retry budget should absorb ``succeed_at - 1`` crashes.
+    """
+    attempt = _mark_attempt(state_dir, key)
+    if attempt < succeed_at:
+        os.kill(os.getpid(), signal.SIGKILL)
+    return value
+
+
+def fail_always(state_dir: str = "", key: str = "",
+                message: str = "deterministic failure") -> None:
+    """Raise the same exception every attempt (the fail-fast case)."""
+    if state_dir:
+        _mark_attempt(state_dir, key)
+    raise ValueError(message)
+
+
+def fail_until_attempt(state_dir: str, key: str, succeed_at: int,
+                       value: int = 0) -> int:
+    """Raise (with an attempt-specific message) until *succeed_at*.
+
+    The changing message keeps the failure signature distinct between
+    attempts, so the runner's repeated-signature fail-fast does not kick
+    in — this is the "genuinely transient exception" shape.
+    """
+    attempt = _mark_attempt(state_dir, key)
+    if attempt < succeed_at:
+        raise RuntimeError(f"transient failure on attempt {attempt}")
+    return value
+
+
+def hang(hang_s: float = 3600.0, state_dir: str = "", key: str = "",
+         value: int = 0) -> int:
+    """Sleep far past any sane timeout — a hung configuration.
+
+    Sleeps in short slices so an un-timed-out test that accidentally
+    runs this still dies to pytest's own timeout rather than blocking
+    a worker forever after the suite is torn down.
+    """
+    if state_dir:
+        _mark_attempt(state_dir, key)
+    deadline_slices = max(1, int(hang_s / 0.1))
+    for _ in range(deadline_slices):
+        time.sleep(0.1)
+    return value
+
+
+def truncate_journal_tail(path: _PathLike, drop_bytes: int) -> None:
+    """Chop *drop_bytes* off a journal — a torn final append.
+
+    Emulates the on-disk state after a SIGKILL mid-``write()``: the last
+    line is partial, everything before it intact.  The journal loader
+    must replay the intact prefix and drop the tail.
+    """
+    size = os.path.getsize(path)
+    with open(path, "a", encoding="utf-8") as stream:
+        stream.truncate(max(0, size - drop_bytes))

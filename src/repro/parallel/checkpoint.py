@@ -1,0 +1,253 @@
+"""Journaled sweep checkpoints: durable re-execution for long sweeps.
+
+A :class:`SweepJournal` is an append-only JSONL file recording every
+*finished* task of one sweep, keyed by ``(sweep_id, task.key,
+kwargs-hash)``:
+
+* the first line is a header naming the format and the ``sweep_id`` — a
+  stable digest of the task list (keys, kwargs, seeds, function names)
+  plus a caller label, so a journal can only resume the sweep that wrote
+  it;
+* every subsequent line is one task's final outcome: key, kwargs hash,
+  status, attempt count, elapsed wall time, and either the pickled value
+  (base64, so arbitrary experiment dataclasses survive) or the error
+  text.
+
+Durability model
+----------------
+
+The journal file itself is *created* atomically (header via
+``tmp + os.replace``, see :mod:`repro.atomicio`), and records are
+*appended* with flush + fsync, so a SIGKILL between tasks loses nothing
+and a SIGKILL mid-append loses at most the line being written.  The
+loader tolerates exactly that failure mode: a torn or corrupt trailing
+line ends the replay (everything before it is intact by construction)
+and is reported via :attr:`SweepJournal.corrupt_tail`, and the next
+:meth:`record` call first truncates the torn tail via an atomic rewrite
+so the journal never accumulates garbage.
+
+Resume contract
+---------------
+
+``resume()`` returns only *successful* entries — failed tasks are re-run
+by the resumed sweep, which is the point of resuming.  Values round-trip
+through pickle, so a combiner fed journal-replayed results produces
+output byte-identical to an uninterrupted run (the ``resumed == fresh``
+extension of the PR 3 determinism contract, enforced by the chaos tests
+and the CI kill-and-resume job).
+"""
+
+from __future__ import annotations
+
+import base64
+import hashlib
+import json
+import os
+import pickle
+from pathlib import Path
+from typing import Any, Dict, Iterable, List, Optional, Tuple, Union
+
+from ..atomicio import atomic_write_text
+from .runner import SweepResult, SweepTask
+
+__all__ = ["JOURNAL_FORMAT", "JOURNAL_VERSION", "kwargs_hash",
+           "compute_sweep_id", "SweepJournal"]
+
+JOURNAL_FORMAT = "repro-sweep-journal"
+JOURNAL_VERSION = 1
+
+_PathLike = Union[str, "os.PathLike[str]"]
+
+
+def _stable_json(payload: Any) -> str:
+    # repr() fallback keeps non-JSON kwargs (enums, dataclasses) hashable;
+    # their repr is stable across processes for the plain data tasks carry.
+    return json.dumps(payload, sort_keys=True, default=repr,
+                      separators=(",", ":"))
+
+
+def _fn_name(task: SweepTask) -> str:
+    fn = task.fn
+    return f"{getattr(fn, '__module__', '?')}.{getattr(fn, '__qualname__', repr(fn))}"
+
+
+def kwargs_hash(task: SweepTask) -> str:
+    """Digest of everything that determines a task's output.
+
+    Covers the function's qualified name, the kwargs, and the injected
+    seed — so a journal entry only matches a task that would recompute
+    the identical value, and an edited grid invalidates exactly the
+    entries whose configuration changed.
+    """
+    payload = _stable_json({"fn": _fn_name(task), "kwargs": task.kwargs,
+                            "seed": task.seed})
+    return hashlib.sha256(payload.encode("utf-8")).hexdigest()[:16]
+
+
+def compute_sweep_id(tasks: Iterable[SweepTask], label: str = "") -> str:
+    """Stable identity of one sweep: its label plus every task's identity.
+
+    Order-sensitive on purpose — results are aggregated in task order,
+    so a reordered grid is a different sweep.
+    """
+    digest = hashlib.sha256()
+    digest.update(label.encode("utf-8"))
+    for task in tasks:
+        digest.update(b"\x00")
+        digest.update(task.key.encode("utf-8"))
+        digest.update(b"\x01")
+        digest.update(kwargs_hash(task).encode("utf-8"))
+    return digest.hexdigest()[:16]
+
+
+def _encode_value(value: Any) -> str:
+    return base64.b64encode(
+        pickle.dumps(value, protocol=pickle.HIGHEST_PROTOCOL)).decode("ascii")
+
+
+def _decode_value(encoded: str) -> Any:
+    return pickle.loads(base64.b64decode(encoded.encode("ascii")))
+
+
+class SweepJournal:
+    """One sweep's append-only completion journal.
+
+    Use :meth:`create` for a fresh run, :meth:`resume` to reopen after a
+    crash; both return a journal ready for :meth:`record` calls.
+    """
+
+    def __init__(self, path: _PathLike, sweep_id: str,
+                 entries: Optional[List[Dict[str, Any]]] = None,
+                 corrupt_tail: int = 0) -> None:
+        self.path = Path(path)
+        self.sweep_id = sweep_id
+        self.entries: List[Dict[str, Any]] = list(entries or [])
+        #: Torn/corrupt trailing lines dropped by the loader (0 or 1 for
+        #: a SIGKILL mid-append; more only for external corruption).
+        self.corrupt_tail = corrupt_tail
+        self._dirty_tail = corrupt_tail > 0
+
+    # -- construction --------------------------------------------------------
+
+    @classmethod
+    def create(cls, path: _PathLike, sweep_id: str) -> "SweepJournal":
+        """Start a fresh journal, atomically replacing any previous file."""
+        journal = cls(path, sweep_id)
+        header = {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION,
+                  "sweep_id": sweep_id}
+        atomic_write_text(journal.path, _stable_json(header) + "\n")
+        return journal
+
+    @classmethod
+    def resume(cls, path: _PathLike, sweep_id: str) -> "SweepJournal":
+        """Reopen an existing journal, validating it belongs to *sweep_id*.
+
+        Raises ``FileNotFoundError`` when the journal does not exist and
+        ``ValueError`` when it records a different sweep (changed grid,
+        scale, or figure selection) or is not a journal at all.
+        """
+        journal = cls.load(path)
+        if journal.sweep_id != sweep_id:
+            raise ValueError(
+                f"journal {path} records sweep {journal.sweep_id}, not "
+                f"{sweep_id}: the task grid, scale, or figure selection "
+                "changed since the journal was written")
+        return journal
+
+    @classmethod
+    def load(cls, path: _PathLike) -> "SweepJournal":
+        """Read a journal, tolerating a torn trailing line.
+
+        Replay stops at the first unparsable or structurally invalid
+        line: with fsync'd appends everything before a torn tail is
+        intact, and everything after it cannot be trusted.
+        """
+        raw = Path(path).read_text(encoding="utf-8")
+        lines = raw.splitlines()
+        if not lines:
+            raise ValueError(f"{path} is empty, not a sweep journal")
+        try:
+            header = json.loads(lines[0])
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} has no journal header: {exc}") from exc
+        if (not isinstance(header, dict)
+                or header.get("format") != JOURNAL_FORMAT):
+            raise ValueError(f"{path} is not a {JOURNAL_FORMAT} file")
+        if header.get("version") != JOURNAL_VERSION:
+            raise ValueError(f"unsupported journal version "
+                             f"{header.get('version')!r} in {path}")
+        entries: List[Dict[str, Any]] = []
+        corrupt_tail = 0
+        for index, line in enumerate(lines[1:], start=2):
+            entry = cls._parse_entry(line)
+            if entry is None:
+                corrupt_tail = len(lines) - index + 1
+                break
+            entries.append(entry)
+        return cls(path, str(header["sweep_id"]), entries, corrupt_tail)
+
+    @staticmethod
+    def _parse_entry(line: str) -> Optional[Dict[str, Any]]:
+        try:
+            entry = json.loads(line)
+        except json.JSONDecodeError:
+            return None
+        if not isinstance(entry, dict):
+            return None
+        if not {"key", "kwargs_hash", "status"} <= set(entry):
+            return None
+        if entry["status"] == "ok" and "value_b64" not in entry:
+            return None
+        return entry
+
+    # -- recording -----------------------------------------------------------
+
+    def record(self, task: SweepTask, result: SweepResult) -> None:
+        """Append one finished task's outcome, fsync'd before returning."""
+        entry: Dict[str, Any] = {
+            "key": task.key,
+            "kwargs_hash": kwargs_hash(task),
+            "status": "ok" if result.ok else "error",
+            "attempts": result.attempts,
+            "elapsed_s": round(result.elapsed_s, 6),
+        }
+        if result.ok:
+            entry["value_b64"] = _encode_value(result.value)
+        else:
+            entry["error"] = result.error
+        if self._dirty_tail:
+            self._rewrite()
+        with open(self.path, "a", encoding="utf-8") as stream:
+            stream.write(_stable_json(entry) + "\n")
+            stream.flush()
+            os.fsync(stream.fileno())
+        self.entries.append(entry)
+
+    def _rewrite(self) -> None:
+        """Atomically drop a torn tail before the first new append."""
+        header = {"format": JOURNAL_FORMAT, "version": JOURNAL_VERSION,
+                  "sweep_id": self.sweep_id}
+        lines = [_stable_json(header)]
+        lines.extend(_stable_json(entry) for entry in self.entries)
+        atomic_write_text(self.path, "\n".join(lines) + "\n")
+        self._dirty_tail = False
+
+    # -- replay --------------------------------------------------------------
+
+    def completed(self) -> Dict[Tuple[str, str], SweepResult]:
+        """Successful results by ``(key, kwargs_hash)``, ready to reuse.
+
+        Failed entries are excluded (a resumed sweep re-runs them);
+        duplicate keys keep the *last* record, matching append order.
+        """
+        replayed: Dict[Tuple[str, str], SweepResult] = {}
+        for entry in self.entries:
+            if entry["status"] != "ok":
+                continue
+            replayed[(entry["key"], entry["kwargs_hash"])] = SweepResult(
+                key=entry["key"],
+                value=_decode_value(entry["value_b64"]),
+                elapsed_s=float(entry.get("elapsed_s", 0.0)),
+                attempts=int(entry.get("attempts", 1)),
+            )
+        return replayed

@@ -1,0 +1,130 @@
+"""Retry policy and failure taxonomy for the resilient sweep runner.
+
+The runner distinguishes three ways a task attempt can fail:
+
+* **exception** — the task function raised inside the worker.  The
+  worker survives, the traceback comes back intact.  Usually
+  deterministic: the same configuration will raise the same exception
+  again, so the policy retries *once* to rule out environmental flukes
+  and then fails fast when the second attempt dies with the same
+  signature (exception type + message).  Burning the full retry budget
+  on a deterministic bug only delays the sweep's verdict.
+* **timeout** — the attempt exceeded ``timeout_s``.  Transient by
+  classification (a loaded machine can starve one worker), so the full
+  retry budget applies.
+* **worker-lost** — the worker process died outright (OOM kill,
+  segfault, ``BrokenProcessPool``).  Also transient: the retry budget
+  applies, and the runner re-runs the task in an isolated single-worker
+  pool so a genuinely poisonous configuration cannot take innocent
+  neighbours down with it again.
+
+Backoff between attempts is deterministic: exponential in the attempt
+number with jitter drawn from :func:`~repro.parallel.runner.derive_seed`
+on ``(policy seed, task key, attempt)`` — never from wall-clock entropy
+or process-global RNG state.  Two runs of the same sweep back off
+identically; the jitter exists to decorrelate *different tasks'* retry
+storms, not to randomise a single task's schedule.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+__all__ = ["RetryPolicy", "TaskFailure", "failure_signature"]
+
+#: Matches runner._SEED_SPACE; kept local to avoid an import cycle.
+_SEED_SPACE = 2 ** 63
+
+
+@dataclass(frozen=True)
+class TaskFailure:
+    """One failed attempt: what happened and whether retrying can help."""
+
+    #: "exception" | "timeout" | "worker-lost"
+    kind: str
+    #: Traceback text for exceptions, a one-line description otherwise.
+    detail: str
+    #: Attempt number that produced this failure (1-based).
+    attempt: int
+
+    @property
+    def transient(self) -> bool:
+        """Transient failures get the full retry budget; deterministic
+        in-task exceptions fail fast on a repeated signature instead."""
+        return self.kind in ("timeout", "worker-lost")
+
+    @property
+    def signature(self) -> str:
+        return failure_signature(self.kind, self.detail)
+
+
+def failure_signature(kind: str, detail: str) -> str:
+    """Stable identity of a failure for repeat detection.
+
+    For exceptions the last non-empty traceback line (``ValueError:
+    boom``) identifies the failure; file/line noise above it may drift
+    between attempts (e.g. a retry wrapper) without changing what went
+    wrong.  Timeouts and lost workers collapse onto their kind.
+    """
+    if kind != "exception":
+        return kind
+    lines = [line.strip() for line in detail.splitlines() if line.strip()]
+    return f"exception:{lines[-1] if lines else detail.strip()}"
+
+
+@dataclass(frozen=True)
+class RetryPolicy:
+    """Per-task retry, timeout, and deterministic-backoff configuration.
+
+    ``retries`` is the number of *additional* attempts after the first,
+    so a task runs at most ``retries + 1`` times.  ``timeout_s`` bounds
+    one attempt's wall time and is enforced on the process-pool path
+    (``workers > 1``), where a hung worker can be killed; the serial
+    in-process path cannot preempt a running task and documents the
+    limitation rather than pretending otherwise.
+    """
+
+    retries: int = 0
+    timeout_s: Optional[float] = None
+    backoff_base_s: float = 0.05
+    backoff_cap_s: float = 2.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        if self.retries < 0:
+            raise ValueError(f"retries must be >= 0, got {self.retries}")
+        if self.timeout_s is not None and self.timeout_s <= 0:
+            raise ValueError(f"timeout_s must be positive, got "
+                             f"{self.timeout_s}")
+        if self.backoff_base_s < 0 or self.backoff_cap_s < 0:
+            raise ValueError("backoff durations must be non-negative")
+
+    def backoff_s(self, key: str, attempt: int) -> float:
+        """Delay before re-running *key* after failed attempt *attempt*.
+
+        Exponential (base * 2^(attempt-1)) capped at ``backoff_cap_s``,
+        scaled by a deterministic jitter factor in [0.5, 1.5) derived
+        from the policy seed, the task key, and the attempt number.
+        """
+        from .runner import derive_seed  # late: avoid import cycle
+
+        base = min(self.backoff_base_s * (2 ** (attempt - 1)),
+                   self.backoff_cap_s)
+        jitter = derive_seed(self.seed, f"backoff:{key}:{attempt}")
+        return base * (0.5 + jitter / _SEED_SPACE)
+
+    def should_retry(self, failure: TaskFailure,
+                     previous: Optional[TaskFailure]) -> bool:
+        """Decide whether *failure* earns another attempt.
+
+        Budget exhausted -> no.  Transient failures (timeout, lost
+        worker) -> yes.  In-task exceptions -> once, and only while the
+        signature keeps changing: the same exception twice in a row is
+        deterministic and fails fast.
+        """
+        if failure.attempt > self.retries:
+            return False
+        if failure.transient:
+            return True
+        return previous is None or previous.signature != failure.signature

@@ -17,6 +17,26 @@ scheduling, or completion order:
 ``sweep(tasks, workers=1)`` executes in-process with no executor at all,
 so the serial experiment paths run through the identical task functions
 and the parallel==serial comparison is exact, not approximate.
+
+Resilience layer
+----------------
+
+On top of that contract the runner is hardened for long sweeps (see
+DESIGN.md section 12):
+
+* a :class:`~repro.parallel.checkpoint.SweepJournal` records every
+  finished task; a resumed sweep replays completed results from the
+  journal instead of recomputing them, and the replayed results are
+  value-identical to fresh ones (``resumed == fresh``);
+* a :class:`~repro.parallel.retry.RetryPolicy` adds per-task
+  ``timeout_s`` and ``retries`` with deterministic exponential backoff
+  (jitter from :func:`derive_seed`, never wall-clock entropy), failing
+  fast when the same exception signature repeats;
+* worker crash recovery: a ``BrokenProcessPool`` poisons *every* future
+  the pool held, so the runner kills and respawns the pool, then re-runs
+  each suspect in an isolated single-worker pool — innocents complete,
+  and the configuration that actually killed the worker is quarantined
+  to its own pool where it can only take itself down.
 """
 
 from __future__ import annotations
@@ -24,9 +44,29 @@ from __future__ import annotations
 import hashlib
 import time
 import traceback
-from concurrent.futures import ProcessPoolExecutor, as_completed
-from dataclasses import dataclass, field
-from typing import Any, Callable, Dict, Iterable, List, Optional
+from concurrent.futures import (
+    FIRST_COMPLETED,
+    Future,
+    ProcessPoolExecutor,
+    TimeoutError as FutureTimeoutError,
+    wait,
+)
+from dataclasses import dataclass, field, replace
+from typing import (
+    TYPE_CHECKING,
+    Any,
+    Callable,
+    Dict,
+    Iterable,
+    List,
+    Optional,
+    Union,
+)
+
+from .retry import RetryPolicy, TaskFailure
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .checkpoint import SweepJournal
 
 __all__ = [
     "derive_seed",
@@ -40,6 +80,10 @@ __all__ = [
 #: Derived seeds live in [0, 2**63): comfortably inside every RNG's seed
 #: space and unaffected by platform ``int`` quirks.
 _SEED_SPACE = 2 ** 63
+
+#: Scheduler poll interval: how often the pool path checks deadlines and
+#: backoff readiness while futures are outstanding.
+_POLL_S = 0.05
 
 #: ``progress(result, done, total)`` — invoked in the parent process,
 #: once per finished task, in completion order.
@@ -84,6 +128,8 @@ class SweepResult:
     value: Any
     error: Optional[str] = None
     elapsed_s: float = 0.0
+    #: How many attempts the task consumed (1 = first try succeeded).
+    attempts: int = 1
 
     @property
     def ok(self) -> bool:
@@ -92,13 +138,26 @@ class SweepResult:
     def unwrap(self) -> Any:
         """The value, or raise :class:`SweepError` for a failed task."""
         if self.error is not None:
-            raise SweepError(
-                f"sweep task {self.key!r} failed:\n{self.error}")
+            raise SweepError(self.key, self.attempts, self.error)
         return self.value
 
 
 class SweepError(RuntimeError):
-    """A combiner was handed a failed task result."""
+    """A combiner was handed a failed task result.
+
+    Carries the task key, the attempt count, and the worker's traceback
+    text both as attributes and in the rendered message, so the failure
+    stays diagnosable however far from the sweep it surfaces.
+    """
+
+    def __init__(self, key: str, attempts: int, error: str) -> None:
+        noun = "attempt" if attempts == 1 else "attempts"
+        super().__init__(
+            f"sweep task {key!r} failed after {attempts} {noun}; "
+            f"worker traceback:\n{error}")
+        self.key = key
+        self.attempts = attempts
+        self.worker_traceback = error
 
 
 def _execute(task: SweepTask) -> SweepResult:
@@ -122,47 +181,369 @@ def _execute(task: SweepTask) -> SweepResult:
 
 
 def sweep(tasks: Iterable[SweepTask], workers: int = 1,
-          progress: Optional[ProgressCallback] = None) -> List[SweepResult]:
+          progress: Optional[ProgressCallback] = None,
+          policy: Optional[RetryPolicy] = None,
+          journal: Optional["SweepJournal"] = None) -> List[SweepResult]:
     """Run every task and return results **in task order**.
 
     ``workers <= 1`` executes serially in-process (no executor, no
     pickling); ``workers > 1`` fans out over a
     :class:`~concurrent.futures.ProcessPoolExecutor`.  A task that
     raises reports an error result; a worker process that dies outright
-    (OOM kill, segfault) is likewise confined to the tasks it held.
+    (OOM kill, segfault) is confined to the task it held — the pool is
+    respawned and the implicated tasks re-run in isolation.
+
+    ``policy`` adds per-task retries, deterministic backoff, and (on the
+    pool path) a per-attempt timeout; ``journal`` makes the sweep
+    durable — finished tasks are recorded as they complete, and tasks
+    already recorded as successful are replayed instead of re-executed,
+    with results value-identical to an uninterrupted run.
     """
     task_list = list(tasks)
     keys = [task.key for task in task_list]
     if len(set(keys)) != len(keys):
         duplicates = sorted({k for k in keys if keys.count(k) > 1})
         raise ValueError(f"duplicate sweep task keys: {duplicates}")
-    total = len(task_list)
-    if workers <= 1 or total <= 1:
-        results: List[SweepResult] = []
-        for task in task_list:
-            result = _execute(task)
-            results.append(result)
-            if progress is not None:
-                progress(result, len(results), total)
-        return results
+    policy = policy or RetryPolicy()
 
-    slots: List[Optional[SweepResult]] = [None] * total
-    done = 0
-    with ProcessPoolExecutor(max_workers=min(workers, total)) as pool:
-        futures = {pool.submit(_execute, task): index
-                   for index, task in enumerate(task_list)}
-        for future in as_completed(futures):
-            index = futures[future]
+    cached: Dict[int, SweepResult] = {}
+    if journal is not None:
+        from .checkpoint import kwargs_hash
+
+        completed = journal.completed()
+        for index, task in enumerate(task_list):
+            hit = completed.get((task.key, kwargs_hash(task)))
+            if hit is not None:
+                cached[index] = hit
+
+    run = _SweepRun(task_list, policy, journal, progress, cached)
+    # workers >= 2 always uses the pool, even for a single task: the
+    # caller asked for a process boundary, and crash/timeout recovery
+    # only exists on the pool path.
+    if workers <= 1 or not task_list:
+        run.run_serial()
+    else:
+        run.run_pool(min(workers, len(task_list)))
+    return [result for result in run.slots if result is not None]
+
+
+# ---------------------------------------------------------------------------
+# resilient execution engine
+# ---------------------------------------------------------------------------
+
+
+@dataclass
+class _Attempt:
+    """One scheduled attempt of one task."""
+
+    index: int
+    attempt: int
+    previous: Optional[TaskFailure]
+    ready_at: float = 0.0
+    #: Run in a dedicated single-worker pool (set after the task was
+    #: implicated in a worker death or a timeout): a quarantined task
+    #: can only take itself down, never its neighbours.
+    isolate: bool = False
+
+
+@dataclass
+class _Running:
+    """Bookkeeping for one outstanding pool future."""
+
+    attempt: _Attempt
+    deadline: Optional[float]
+
+
+class _SweepRun:
+    """Execution state shared by the serial and pool paths."""
+
+    def __init__(self, task_list: List[SweepTask], policy: RetryPolicy,
+                 journal: Optional["SweepJournal"],
+                 progress: Optional[ProgressCallback],
+                 cached: Dict[int, SweepResult]) -> None:
+        self.tasks = task_list
+        self.policy = policy
+        self.journal = journal
+        self.progress = progress
+        self.total = len(task_list)
+        self.slots: List[Optional[SweepResult]] = [None] * self.total
+        self.done = 0
+        self.queue: List[_Attempt] = []
+        self._pool_broken = False
+        # Replayed results count as done immediately, in task order.
+        for index in sorted(cached):
+            self._finish(index, cached[index], record=False)
+        for index in range(self.total):
+            if index not in cached:
+                self.queue.append(_Attempt(index=index, attempt=1,
+                                           previous=None))
+
+    # -- shared bookkeeping --------------------------------------------------
+
+    def _finish(self, index: int, result: SweepResult,
+                record: bool = True) -> None:
+        self.slots[index] = result
+        self.done += 1
+        if record and self.journal is not None:
+            self.journal.record(self.tasks[index], result)
+        if self.progress is not None:
+            self.progress(result, self.done, self.total)
+
+    def _failure_result(self, index: int, failure: TaskFailure) -> SweepResult:
+        key = self.tasks[index].key
+        if failure.kind == "exception":
+            error = failure.detail
+        elif failure.kind == "timeout":
+            error = (f"task {key!r} exceeded timeout_s="
+                     f"{self.policy.timeout_s} on attempt "
+                     f"{failure.attempt}: {failure.detail}")
+        else:
+            error = (f"worker running task {key!r} died on attempt "
+                     f"{failure.attempt}: {failure.detail}")
+        return SweepResult(key=key, value=None, error=error,
+                           attempts=failure.attempt)
+
+    def _settle(self, attempt: _Attempt,
+                outcome: Union[SweepResult, TaskFailure],
+                now: float) -> None:
+        """Route one attempt's outcome: finish, or schedule a retry."""
+        if isinstance(outcome, SweepResult) and outcome.ok:
+            self._finish(attempt.index,
+                         replace(outcome, attempts=attempt.attempt))
+            return
+        if isinstance(outcome, SweepResult):
+            failure = TaskFailure(kind="exception",
+                                  detail=outcome.error or "",
+                                  attempt=attempt.attempt)
+        else:
+            failure = outcome
+        if self.policy.should_retry(failure, attempt.previous):
+            key = self.tasks[attempt.index].key
+            delay = self.policy.backoff_s(key, attempt.attempt)
+            self.queue.append(_Attempt(
+                index=attempt.index, attempt=attempt.attempt + 1,
+                previous=failure, ready_at=now + delay,
+                isolate=attempt.isolate or failure.transient))
+        else:
+            self._finish(attempt.index,
+                         self._failure_result(attempt.index, failure))
+
+    # -- serial path ---------------------------------------------------------
+
+    def run_serial(self) -> None:
+        """In-process execution with retries (timeouts need the pool:
+        a single-process run cannot preempt its own task)."""
+        while self.queue:
+            self.queue.sort(key=lambda a: (a.ready_at, a.index))
+            attempt = self.queue.pop(0)
+            if attempt.attempt > 1:
+                wait_s = self.policy.backoff_s(
+                    self.tasks[attempt.index].key, attempt.attempt - 1)
+                time.sleep(wait_s)
+            result = _execute(self.tasks[attempt.index])
+            # ready_at is wall-clock scheduling state; results never
+            # depend on it, so 0.0 keeps the serial path clock-free.
+            self._settle(attempt, result, now=0.0)
+
+    # -- pool path -----------------------------------------------------------
+
+    def run_pool(self, workers: int) -> None:
+        pool = ProcessPoolExecutor(max_workers=workers)
+        running: Dict[Future[SweepResult], _Running] = {}
+        try:
+            while self.queue or running:
+                now = time.monotonic()  # simlint: ignore[SIM001] -- scheduler deadlines
+                self._run_ready_isolated(now)
+                self._submit_ready(pool, running, workers,
+                                   time.monotonic())  # simlint: ignore[SIM001] -- scheduler deadlines
+                if self._pool_broken:
+                    self._pool_broken = False
+                    pool = self._recover_crash(pool, running)
+                    continue
+                if not running:
+                    self._sleep_until_ready()
+                    continue
+                crashed = self._collect(running)
+                if crashed:
+                    pool = self._recover_crash(pool, running)
+                    continue
+                expired = self._expire_deadlines(running)
+                if expired:
+                    pool = self._recover_timeout(pool, running, expired)
+        finally:
+            _kill_pool(pool)
+
+    def _submit_ready(self, pool: ProcessPoolExecutor,
+                      running: Dict[Future[SweepResult], _Running],
+                      workers: int, now: float) -> None:
+        """Keep at most *workers* futures outstanding.
+
+        Windowed submission (rather than submitting the whole grid up
+        front) means every outstanding future is actually executing, so
+        ``submit time + timeout_s`` is a faithful per-attempt deadline
+        and a crash implicates at most *workers* suspects.
+        """
+        self.queue.sort(key=lambda a: (a.ready_at, a.index))
+        while len(running) < workers:
+            attempt = self._pop_eligible(now, isolate=False)
+            if attempt is None:
+                return
+            deadline = (now + self.policy.timeout_s
+                        if self.policy.timeout_s is not None else None)
+            try:
+                future = pool.submit(_execute, self.tasks[attempt.index])
+            except RuntimeError:
+                # Pool broke between iterations; requeue and let the
+                # crash path rebuild the pool this same loop turn.
+                self.queue.append(attempt)
+                self._pool_broken = True
+                return
+            running[future] = _Running(attempt=attempt, deadline=deadline)
+
+    def _pop_eligible(self, now: float, isolate: bool) -> Optional[_Attempt]:
+        for position, attempt in enumerate(self.queue):
+            if attempt.isolate == isolate and attempt.ready_at <= now:
+                return self.queue.pop(position)
+        return None
+
+    def _run_ready_isolated(self, now: float) -> None:
+        """Run quarantined attempts, one at a time, each in its own
+        single-worker pool."""
+        while True:
+            attempt = self._pop_eligible(now, isolate=True)
+            if attempt is None:
+                return
+            outcome = _run_isolated(self.tasks[attempt.index],
+                                    attempt.attempt, self.policy.timeout_s)
+            self._settle(attempt, outcome,
+                         time.monotonic())  # simlint: ignore[SIM001] -- scheduler deadlines
+
+    def _sleep_until_ready(self) -> None:
+        if not self.queue:
+            return
+        now = time.monotonic()  # simlint: ignore[SIM001] -- scheduler deadlines
+        wake = min(attempt.ready_at for attempt in self.queue)
+        if wake > now:
+            time.sleep(min(wake - now, _POLL_S * 4))
+
+    def _collect(self,
+                 running: Dict[Future[SweepResult], _Running]) -> bool:
+        """Harvest finished futures; True when the pool broke."""
+        done, _ = wait(set(running), timeout=_POLL_S,
+                       return_when=FIRST_COMPLETED)
+        crashed = False
+        for future in done:
+            info = running.pop(future)
             try:
                 result = future.result()
-            except BaseException as exc:  # e.g. BrokenProcessPool
-                result = SweepResult(key=task_list[index].key, value=None,
-                                     error=f"worker died: {exc!r}")
-            slots[index] = result
-            done += 1
-            if progress is not None:
-                progress(result, done, total)
-    return [result for result in slots if result is not None]
+            except BaseException:  # BrokenProcessPool and kin
+                # Any worker's death breaks every outstanding future, so
+                # this future's task is a *suspect*, not necessarily the
+                # culprit.  Requeue it, un-charged, for an isolated
+                # rerun: the rerun acquits innocents (they just run) and
+                # convicts the culprit in a pool of its own.
+                crashed = True
+                self.queue.append(replace(info.attempt, isolate=True,
+                                          ready_at=0.0))
+                continue
+            self._settle(info.attempt, result,
+                         time.monotonic())  # simlint: ignore[SIM001] -- scheduler deadlines
+        return crashed
+
+    def _recover_crash(self, pool: ProcessPoolExecutor,
+                       running: Dict[Future[SweepResult], _Running],
+                       ) -> ProcessPoolExecutor:
+        """A worker died: every outstanding future is poisoned.
+
+        The dead worker's own future raised ``BrokenProcessPool`` in
+        :meth:`_collect` and its attempt was already requeued as an
+        isolated suspect; the remaining futures belong to tasks that
+        merely shared the pool, so they requeue as isolated suspects too
+        — the isolated rerun acquits the innocents (they just succeed)
+        and convicts the culprit without collateral damage.  The main
+        pool is killed and respawned once per crash event.
+        """
+        for info in running.values():
+            self.queue.append(replace(info.attempt, isolate=True,
+                                      ready_at=0.0))
+        running.clear()
+        _kill_pool(pool)
+        return ProcessPoolExecutor(max_workers=pool._max_workers)
+
+    def _expire_deadlines(self, running: Dict[Future[SweepResult], _Running],
+                          ) -> List[_Running]:
+        now = time.monotonic()  # simlint: ignore[SIM001] -- scheduler deadlines
+        return [info for future, info in running.items()
+                if info.deadline is not None and now > info.deadline
+                and not future.done()]
+
+    def _recover_timeout(self, pool: ProcessPoolExecutor,
+                         running: Dict[Future[SweepResult], _Running],
+                         expired: List[_Running]) -> ProcessPoolExecutor:
+        """A worker hung past its deadline.
+
+        ``ProcessPoolExecutor`` cannot cancel a running call, so the
+        whole pool is killed and respawned.  The expired attempts are
+        charged a (transient, retryable) timeout failure and quarantined
+        for any further attempts; tasks that were merely running beside
+        them requeue at the *same* attempt number — we killed their
+        workers, they did nothing wrong.
+        """
+        expired_indices = {info.attempt.index for info in expired}
+        now = time.monotonic()  # simlint: ignore[SIM001] -- scheduler deadlines
+        for info in expired:
+            failure = TaskFailure(
+                kind="timeout",
+                detail="worker killed after missing its deadline",
+                attempt=info.attempt.attempt)
+            self._settle(replace(info.attempt, isolate=True), failure, now)
+        for info in running.values():
+            if info.attempt.index not in expired_indices:
+                self.queue.append(replace(info.attempt, ready_at=0.0))
+        running.clear()
+        _kill_pool(pool)
+        return ProcessPoolExecutor(max_workers=pool._max_workers)
+
+
+def _kill_pool(pool: ProcessPoolExecutor) -> None:
+    """Hard-stop a pool: SIGKILL the workers, then reap the executor.
+
+    Reaches into ``_processes`` (stdlib-private but stable since 3.7);
+    ``shutdown`` alone would block forever on a hung worker.
+    """
+    process_map = getattr(pool, "_processes", None) or {}
+    for process in list(process_map.values()):
+        try:
+            process.kill()
+        except Exception:  # pragma: no cover - already-reaped process
+            pass
+    pool.shutdown(wait=True, cancel_futures=True)
+
+
+def _run_isolated(task: SweepTask, attempt: int,
+                  timeout_s: Optional[float],
+                  ) -> Union[SweepResult, TaskFailure]:
+    """Run one attempt in a dedicated single-worker pool.
+
+    Used for quarantined tasks (prior crash or timeout) and for crash
+    suspects: whatever happens in here — a clean result, an exception,
+    another worker death, a hang — is confined to this pool.
+    """
+    pool = ProcessPoolExecutor(max_workers=1)
+    try:
+        future = pool.submit(_execute, task)
+        try:
+            return future.result(timeout=timeout_s)
+        except FutureTimeoutError:
+            return TaskFailure(
+                kind="timeout",
+                detail="isolated worker killed after missing its deadline",
+                attempt=attempt)
+        except BaseException as exc:  # BrokenProcessPool and kin
+            return TaskFailure(kind="worker-lost", detail=repr(exc),
+                               attempt=attempt)
+    finally:
+        _kill_pool(pool)
 
 
 def merge_telemetry(handles: Iterable[Any]) -> Optional[Any]:
@@ -170,13 +551,18 @@ def merge_telemetry(handles: Iterable[Any]) -> Optional[Any]:
 
     Counters add, histograms merge bucket-wise, time-series concatenate
     in task order — the aggregate a serial run sharing a single handle
-    across the same tasks would have produced.  ``None`` entries are
-    skipped; returns ``None`` when nothing was observed.
+    across the same tasks would have produced.  Entries that carry no
+    telemetry are skipped: ``None`` handles, and — as a convenience for
+    resilient sweeps — :class:`SweepResult` items, whose ``value`` is
+    used when the task succeeded and ignored when it failed.  Returns
+    ``None`` when nothing was observed.
     """
     from ..telemetry import Telemetry
 
     merged: Optional[Telemetry] = None
     for handle in handles:
+        if isinstance(handle, SweepResult):
+            handle = handle.value if handle.ok else None
         if handle is None:
             continue
         if merged is None:

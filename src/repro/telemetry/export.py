@@ -9,6 +9,10 @@ Two formats:
 * **CSV** — long-format rows for spreadsheet/gnuplot consumption:
   ``series,x,y`` for time-series and ``histogram,upper_edge_us,count``
   for bucket rows.
+
+Path destinations are written atomically (tmp + ``os.replace`` via
+:mod:`repro.atomicio`): a crash mid-export leaves either the previous
+artifact or the new one, never a truncated file.
 """
 
 from __future__ import annotations
@@ -17,6 +21,8 @@ import csv
 import io
 import json
 from typing import TYPE_CHECKING, Dict, IO, Union
+
+from ..atomicio import atomic_write_text
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from . import Telemetry
@@ -59,9 +65,7 @@ def write_json(telemetry: "Telemetry",
                destination: Union[str, IO[str]]) -> None:
     """Write the JSON document to a path or an open text stream."""
     if isinstance(destination, str):
-        with open(destination, "w") as stream:
-            stream.write(to_json(telemetry))
-            stream.write("\n")
+        atomic_write_text(destination, to_json(telemetry) + "\n")
     else:
         destination.write(to_json(telemetry))
         destination.write("\n")
@@ -96,7 +100,6 @@ def write_csv(telemetry: "Telemetry",
     """Write time-series then histogram sections to a path or stream."""
     content = series_to_csv(telemetry) + histograms_to_csv(telemetry)
     if isinstance(destination, str):
-        with open(destination, "w") as stream:
-            stream.write(content)
+        atomic_write_text(destination, content)
     else:
         destination.write(content)

@@ -88,7 +88,7 @@ class TestEngine:
         assert findings == []
 
     def test_rule_registry_is_complete(self):
-        assert sorted(RULES) == [f"SIM{n:03d}" for n in range(1, 9)]
+        assert sorted(RULES) == [f"SIM{n:03d}" for n in range(1, 10)]
         for code, cls in RULES.items():
             assert cls.description, code
             assert cls.severity in ("error", "warning")
@@ -655,6 +655,78 @@ class TestSim008ExceptionDiscipline:
                     risky()
                 except Exception:  # simlint: ignore[SIM008] -- boundary shim
                     pass
+            """)
+        assert findings == []
+
+
+# ---------------------------------------------------------------------------
+# SIM009 — atomic artifact writes
+# ---------------------------------------------------------------------------
+
+
+class TestSim009AtomicWrite:
+    def test_fires_on_truncating_open(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/w.py", """
+            def dump(path, text):
+                with open(path, "w") as stream:
+                    stream.write(text)
+            """)
+        assert codes(findings) == ["SIM009"]
+        assert "atomic_write_text" in findings[0].message
+
+    def test_fires_on_binary_and_mode_keyword(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/telemetry/w2.py", """
+            def dump(path, blob, text):
+                with open(path, mode="wb") as stream:
+                    stream.write(blob)
+                with open(path, mode="x") as stream:
+                    stream.write(text)
+            """)
+        assert codes(findings) == ["SIM009", "SIM009"]
+
+    def test_fires_on_path_write_text(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/analysis/w3.py", """
+            from pathlib import Path
+
+            def dump(path, text):
+                Path(path).write_text(text, encoding="utf-8")
+            """)
+        assert codes(findings) == ["SIM009"]
+        assert ".write_text()" in findings[0].message
+
+    def test_near_miss_read_and_append(self, tmp_path):
+        # Reads, appends (the journal's own durability design), and
+        # dynamic modes the rule cannot judge are all exempt.
+        findings = lint_fixture(tmp_path, "repro/experiments/ok9.py", """
+            def roundtrip(path, text, mode):
+                with open(path) as stream:
+                    stream.read()
+                with open(path, "r", encoding="utf-8") as stream:
+                    stream.read()
+                with open(path, "a") as stream:
+                    stream.write(text)
+                with open(path, mode) as stream:
+                    stream.write(text)
+            """)
+        assert findings == []
+
+    def test_near_miss_atomicio_module_itself(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/atomicio.py", """
+            import os
+
+            def atomic_write_text(path, content):
+                tmp = f"{path}.tmp.{os.getpid()}"
+                with open(tmp, "w") as stream:
+                    stream.write(content)
+                os.replace(tmp, path)
+            """)
+        assert findings == []
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/p9.py", """
+            def scratch(path, text):
+                with open(path, "w") as stream:  # simlint: ignore[SIM009] -- throwaway scratch file
+                    stream.write(text)
             """)
         assert findings == []
 
