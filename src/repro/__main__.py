@@ -47,6 +47,7 @@ from .experiments import (
     fig10_ecc_throughput,
     fig11_reconfig,
     fig12_lifetime,
+    fig13_error_regimes,
 )
 from .experiments.report import ReportScale, generate_report
 from .workloads.analysis import profile_trace
@@ -61,8 +62,24 @@ _FIGURES = {
     "fig10": fig10_ecc_throughput.main,
     "fig11": fig11_reconfig.main,
     "fig12": fig12_lifetime.main,
+    "fig13": fig13_error_regimes.main,
     "faults": fault_degradation.main,
 }
+
+
+def _add_reliability_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--reliability-rate", type=float, default=0.0,
+        help="base raw bit error rate of the error-process model "
+             "(0 disables; see ReliabilityConfig.uniform for the "
+             "derived retention/disturb/interference rates)")
+    parser.add_argument(
+        "--reliability-seed", type=int, default=0,
+        help="seed of the error-process model's RNG streams")
+    parser.add_argument(
+        "--scrub-interval", type=float, default=0.0, metavar="US",
+        help="device time (us) between background retention-scrub "
+             "passes (0 disables; needs --reliability-rate > 0)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -153,6 +170,7 @@ def _build_parser() -> argparse.ArgumentParser:
                           "rates)")
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed of the fault injector's RNG streams")
+    _add_reliability_arguments(run)
     run.add_argument("--telemetry-out", default=None, metavar="PATH",
                      help="enable telemetry and write the JSON metrics "
                           "report (histograms + time-series) here")
@@ -175,6 +193,7 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="uniform fault-injection rate (0 disables)")
     stats.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault injector's RNG streams")
+    _add_reliability_arguments(stats)
     stats.add_argument("--interval", type=int, default=1000,
                        help="requests between time-series samples "
                             "(default 1000)")
@@ -278,18 +297,69 @@ def _sweep_command(args: argparse.Namespace) -> int:
 def _build_system_and_records(args: argparse.Namespace):
     from .core.hierarchy import build_flash_system
     from .faults.injector import FaultConfig
+    from .reliability import ReliabilityConfig, ScrubConfig
 
     fault_config = None
     if args.fault_rate > 0.0:
         fault_config = FaultConfig.uniform(args.fault_rate,
                                            seed=args.fault_seed)
+    reliability_config = None
+    if args.reliability_rate > 0.0:
+        reliability_config = ReliabilityConfig.uniform(
+            args.reliability_rate, seed=args.reliability_seed)
+    scrub_config = None
+    if args.scrub_interval > 0.0:
+        if reliability_config is None:
+            raise SystemExit("error: --scrub-interval needs "
+                             "--reliability-rate > 0")
+        scrub_config = ScrubConfig(interval_us=args.scrub_interval,
+                                   min_age_us=args.scrub_interval)
     system = build_flash_system(
         dram_bytes=args.dram_mb << 20,
         flash_bytes=args.flash_mb << 20,
         fault_config=fault_config,
+        reliability_config=reliability_config,
+        scrub_config=scrub_config,
     )
     records = records_from_spc_file(args.path, limit=args.limit)
     return system, records, fault_config
+
+
+def _print_reliability_sections(report) -> None:
+    """Fault-injection, error-model, and scrub summaries (anything that
+    is None — model off, no scrubber — prints nothing)."""
+    faults = report.faults
+    if faults is not None:
+        print("injected faults")
+        print(f"  read-disturb bursts:     {faults.read_disturbs}")
+        print(f"  disturbed reads:         {faults.disturbed_reads}")
+        print(f"  program faults:          {faults.program_faults}")
+        print(f"  erase faults:            {faults.erase_faults}")
+        print(f"  infant-mortality blocks: {faults.dead_blocks}")
+    reliability = report.reliability
+    if reliability is not None:
+        controller = report.controller
+        print("error model")
+        print(f"  modelled reads:          {reliability.modelled_reads}")
+        print(f"  raw error bits:          {reliability.error_bits}")
+        print(f"  bits/read:               {reliability.bits_per_read:.3f}")
+        print(f"  saturated reads:         {reliability.saturated_reads}")
+        if controller is not None and controller.reads:
+            cells = (2048 + 64) * 8
+            uber = (controller.uncorrectable_reads
+                    / (controller.reads * cells))
+            print(f"  uncorrectable reads:     "
+                  f"{controller.uncorrectable_reads}")
+            print(f"  UBER:                    {uber:.3e}")
+    scrub = report.scrub
+    if scrub is not None:
+        print("scrub")
+        print(f"  passes:                  {scrub.passes}")
+        print(f"  pages scanned:           {scrub.pages_scanned}")
+        print(f"  scrub reads:             {scrub.scrub_reads}")
+        print(f"  page rewrites:           {scrub.page_rewrites}")
+        print(f"  uncorrectable found:     {scrub.uncorrectable_found}")
+        print(f"  busy time:               {scrub.busy_us:.0f} us")
 
 
 def _print_latency_percentiles(report) -> None:
@@ -327,6 +397,7 @@ def _run_trace_command(args: argparse.Namespace) -> int:
         print(f"retired blocks:  {flash.retired_blocks}")
         print(f"live capacity:   {report.flash_live_capacity:.3f}")
         print(f"degraded:        {report.flash_degraded}")
+    _print_reliability_sections(report)
     if telemetry is not None:
         from .telemetry.export import write_json
 
@@ -351,6 +422,7 @@ def _stats_command(args: argparse.Namespace) -> int:
     print(f"flash miss rate: {report.flash_miss_rate:.3%}")
     _print_latency_percentiles(report)
     print()
+    _print_reliability_sections(report)
     print("histograms")
     for name, hist in sorted(telemetry.metrics.histograms.items()):
         if hist.count == 0:

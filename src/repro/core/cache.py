@@ -64,6 +64,7 @@ __all__ = [
     "CacheStats",
     "FlashReadOutcome",
     "WriteOutcome",
+    "ScrubOutcome",
     "FlashDiskCache",
 ]
 
@@ -201,6 +202,23 @@ class WriteOutcome:
     """
 
     latency_us: float
+    flushed_lbas: Tuple[int, ...] = ()
+
+
+@dataclass(frozen=True)
+class ScrubOutcome:
+    """Result of one :meth:`FlashDiskCache.scrub_page` refresh attempt.
+
+    ``refreshed`` means the page was re-read clean and rewritten fresh;
+    ``uncorrectable`` means the re-read found a latent error past
+    correction (the page was dropped — the countermeasure arrived too
+    late).  ``flushed_lbas`` are dirty pages pushed to disk by evictions
+    the rewrite triggered.
+    """
+
+    latency_us: float
+    refreshed: bool
+    uncorrectable: bool = False
     flushed_lbas: Tuple[int, ...] = ()
 
 
@@ -488,6 +506,71 @@ class FlashDiskCache:
         self._register(lba, address, self._write, Region.WRITE)
         self._dirty.add(lba)
         return WriteOutcome(latency_us=latency, flushed_lbas=tuple(flushed))
+
+    # -- scrubbing (retention refresh) ----------------------------------------------
+
+    def cached_lbas(self) -> List[int]:
+        """Every currently mapped LBA, sorted (deterministic scan order
+        for the scrub pass regardless of insertion history)."""
+        return sorted(self._location)
+
+    def scrub_page(self, lba: int) -> ScrubOutcome:
+        """Refresh one cached page: re-read it through the controller
+        (latent errors are detected, counted, and answered by the normal
+        section 5.2.1 response) and rewrite it out-of-place in its owning
+        region, resetting its retention age.
+
+        Runs entirely on the cache's ordinary machinery — FCHT remap,
+        region bookkeeping, GC/eviction pressure from the rewrite — so
+        every invariant the foreground path maintains holds here too.
+        Read hit/miss statistics are untouched: scrubbing is background
+        maintenance, not request traffic.
+        """
+        if self.degraded:
+            return ScrubOutcome(latency_us=0.0, refreshed=False)
+        address = self.fcht.lookup(lba)
+        if address is None:
+            return ScrubOutcome(latency_us=0.0, refreshed=False)
+        result = self.controller.read(address)
+        latency = result.latency_us
+        if not result.recovered:
+            self.stats.uncorrectable += 1
+            self._drop_page(lba, address)
+            if lba in self._dirty:
+                self._dirty.discard(lba)
+                self.stats.unrecovered_faults += 1
+                if self._fault_aware:
+                    self._orphan_dirty.add(lba)
+            else:
+                self.stats.recovered_faults += 1
+            return ScrubOutcome(latency_us=latency, refreshed=False,
+                                uncorrectable=True)
+        if self.fcht.lookup(lba) != address or self.degraded:
+            # The read's fault response (block retirement, degradation)
+            # already unmapped the page; nothing left to rewrite.
+            return ScrubOutcome(latency_us=latency, refreshed=False)
+        tag = self._location.get(lba) or Region.READ
+        region = self._write if tag is Region.WRITE else self._read
+        dirty = lba in self._dirty
+        self._drop_page(lba, address)
+        try:
+            new_address, program_us, flushed = \
+                self._program_with_remap(region, lba)
+        except CacheDegradedError:
+            if not self.config.allow_eviction_for_space:
+                raise
+            # ``lba`` is still in ``_dirty`` (if it was dirty), so
+            # entering the bypass routes it out through the orphan flush.
+            self._enter_degraded()
+            return ScrubOutcome(latency_us=latency, refreshed=False)
+        self._register(lba, new_address, region, tag)
+        if dirty:
+            # The rewrite does not launder dirtiness: the copy is still
+            # newer than the disk's until the next flush.
+            self._dirty.add(lba)
+        return ScrubOutcome(latency_us=latency + program_us,
+                            refreshed=True,
+                            flushed_lbas=tuple(flushed))
 
     # -- page bookkeeping helpers ---------------------------------------------------
 

@@ -387,6 +387,59 @@ class ProgrammableFlashController:
         if entry is not None:
             entry.valid = False
 
+    def refresh_block(self, block: int) -> float:
+        """Scrub refresh: re-read, erase, and rewrite a block in place.
+
+        The retention countermeasure at controller level (used by the
+        regime simulator; the trace-path cache scrubs out-of-place via
+        :meth:`~repro.core.cache.FlashDiskCache.scrub_page` so its
+        region bookkeeping stays exact).  Every valid page is re-read
+        through the normal ECC path — latent errors are detected and
+        the section 5.2.1 response runs — then the block is erased
+        (applying any pended density change and resetting the frames'
+        retention clocks) and the surviving pages are reprogrammed at
+        their own addresses with LBA back-pointers and access history
+        preserved.  Pages whose re-read fails are dropped; a read that
+        retires the block aborts the refresh.  Returns the total
+        latency of the reads, the erase, and the rewrites.
+        """
+        elapsed = 0.0
+        survivors: List[tuple[PageAddress, Optional[int], int]] = []
+        for address in self.pages_of_block(block):
+            entry = self.fpst.get(address)
+            if entry is None or not entry.valid:
+                continue
+            result = self.read(address)
+            elapsed += result.latency_us
+            if self.is_retired(block):
+                return elapsed
+            if not result.recovered:
+                # The copy is lost; nothing worth rewriting.
+                entry.valid = False
+                entry.lba = None
+                continue
+            survivors.append((address, entry.lba, entry.access_count))
+        try:
+            elapsed += self.erase(block)
+        except EraseFailure as failure:
+            return elapsed + failure.latency_us
+        live = set(self.pages_of_block(block))
+        for address, lba, access_count in survivors:
+            if address not in live:
+                # A pended MLC->SLC switch applied at the erase shrank
+                # the address space; the vanished subpage's data must be
+                # re-fetched by the layer above.
+                continue
+            try:
+                elapsed += self.program(address, lba=lba)
+            except ProgramFailure as failure:
+                elapsed += failure.latency_us
+                if self.is_retired(block):
+                    break
+                continue
+            self.fpst.entry(address).access_count = access_count
+        return elapsed
+
     # -- section 5.2.1: response to an increase in faults -------------------------
 
     def _respond_to_faults(self, address: PageAddress,

@@ -35,6 +35,12 @@ from ..flash.device import FlashDevice
 from ..flash.geometry import FlashGeometry
 from ..flash.timing import CellMode
 from ..flash.wear import CellLifetimeModel
+from ..reliability import (
+    ReliabilityConfig,
+    ReliabilityModel,
+    ScrubConfig,
+    Scrubber,
+)
 from ..workloads.trace import PAGE_BYTES, TraceRecord
 from .cache import FlashCacheConfig, FlashDiskCache
 from .controller import ControllerConfig, ProgrammableFlashController
@@ -245,6 +251,9 @@ class FlashBackedSystem(_SystemBase):
             raise ValueError("FlashBackedSystem needs flash_bytes > 0")
         super().__init__(config)
         self.flash = flash_cache
+        #: Optional :class:`repro.reliability.Scrubber`; ``None`` (default)
+        #: means no background retention scrubbing.
+        self.scrubber: Optional[Scrubber] = None
 
     # -- plumbing --------------------------------------------------------------
 
@@ -275,6 +284,16 @@ class FlashBackedSystem(_SystemBase):
         # eventually updated by flushing the write disk cache") so its
         # pages are clean by the time eviction recycles their blocks.
         self._writeback_queue.extend(self.flash.flush())
+        scrubber = self.scrubber
+        if scrubber is not None:
+            # Retention scrub rides the write-back daemon's tick: cheap
+            # clock check until the scrub interval elapses, then one pass
+            # whose traffic is charged to background time (and whose
+            # eviction-flushed dirty pages join this very flush batch).
+            elapsed_us, flushed = scrubber.maybe_scrub()
+            if flushed:
+                self._writeback_queue.extend(flushed)
+            self.background_us += elapsed_us
         self._drain_writeback_queue()
 
     def reset_measurement(self) -> None:
@@ -303,6 +322,8 @@ def build_flash_system(
     seed: int = 0,
     power_model_dram_bytes: int | None = None,
     fault_config: FaultConfig | None = None,
+    reliability_config: ReliabilityConfig | None = None,
+    scrub_config: ScrubConfig | None = None,
 ) -> FlashBackedSystem:
     """Convenience factory wiring device -> controller -> cache -> system.
 
@@ -310,18 +331,26 @@ def build_flash_system(
     way); wear modelling is off unless a ``lifetime_model`` is supplied,
     which keeps pure performance studies fast.  A ``fault_config`` with any
     non-zero rate attaches a deterministic fault injector to the device
-    and switches the cache into fault-aware graceful degradation.
+    and switches the cache into fault-aware graceful degradation.  A
+    ``reliability_config`` with any non-zero rate attaches the seeded
+    error-process model (wear/retention/disturb/interference physics) to
+    the device; add a ``scrub_config`` on top for background retention
+    scrubbing (requires the model — there is nothing to age without it).
     """
     geometry = FlashGeometry.for_capacity(flash_bytes, mode=initial_mode)
     injector = None
     if fault_config is not None and fault_config.any_enabled:
         injector = FaultInjector(fault_config)
+    reliability = None
+    if reliability_config is not None and reliability_config.any_enabled:
+        reliability = ReliabilityModel(reliability_config)
     device = FlashDevice(
         geometry=geometry,
         lifetime_model=lifetime_model,
         initial_mode=initial_mode,
         seed=seed,
         fault_injector=injector,
+        reliability=reliability,
     )
     controller = ProgrammableFlashController(
         device, config=controller_config)
@@ -334,4 +363,10 @@ def build_flash_system(
     system_config = SystemConfig(
         dram_bytes=dram_bytes, flash_bytes=flash_bytes,
         power_model_dram_bytes=power_model_dram_bytes)
-    return FlashBackedSystem(system_config, cache)
+    system = FlashBackedSystem(system_config, cache)
+    if scrub_config is not None:
+        if reliability is None:
+            raise ValueError("scrub_config requires a reliability_config "
+                             "with at least one non-zero rate")
+        system.scrubber = Scrubber(cache, scrub_config)
+    return system

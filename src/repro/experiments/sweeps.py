@@ -42,6 +42,7 @@ from . import (
     fig10_ecc_throughput,
     fig11_reconfig,
     fig12_lifetime,
+    fig13_error_regimes,
 )
 from .report import ReportScale
 
@@ -174,6 +175,15 @@ def _fig12_combine(results: Sequence[SweepResult]) -> Any:
     }
 
 
+def _fig13_build(scale: ReportScale) -> List[SweepTask]:
+    return fig13_error_regimes.tasks(num_blocks=scale.aging_blocks,
+                                     frames_per_block=scale.aging_frames)
+
+
+def _fig13_combine(results: Sequence[SweepResult]) -> Any:
+    return [asdict(row) for row in fig13_error_regimes.combine(results)]
+
+
 SWEEPS: Dict[str, SweepSpec] = {
     "fig1b": SweepSpec("fig1b", "GC overhead vs occupancy",
                        _fig1b_build, _fig1b_combine),
@@ -191,6 +201,9 @@ SWEEPS: Dict[str, SweepSpec] = {
                        _fig11_build, _fig11_combine),
     "fig12": SweepSpec("fig12", "lifetime extension",
                        _fig12_build, _fig12_combine),
+    "fig13": SweepSpec("fig13", "error-regime robustness (lifetime, "
+                       "UBER, scrub traffic)",
+                       _fig13_build, _fig13_combine),
 }
 
 

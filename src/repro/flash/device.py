@@ -33,6 +33,7 @@ from random import Random
 from typing import Dict, List, Optional
 
 from ..faults.injector import FaultInjector
+from ..reliability.model import ReliabilityModel
 from .geometry import FlashGeometry, PageAddress, DEFAULT_GEOMETRY
 from .timing import (
     CellMode,
@@ -205,6 +206,14 @@ class FlashDevice:
         reads, :class:`ProgramFailure`/:class:`EraseFailure` on writes and
         erases, and all-bits-bad reads from infant-mortality blocks.
         ``None`` (the default) changes nothing.
+    reliability:
+        Optional :class:`~repro.reliability.ReliabilityModel` adding
+        physics-driven raw bit errors (retention, read disturb, program
+        interference, process variation) to every read.  The device
+        keeps a monotonic operation clock (:attr:`clock_us`) the model's
+        retention term integrates over; composes with (does not replace)
+        the wear sampler and the fault injector.  ``None`` (the default)
+        changes nothing.
     """
 
     def __init__(
@@ -218,6 +227,7 @@ class FlashDevice:
         seed: int = 0,
         soft_error_rate_per_bit: float = 0.0,
         fault_injector: Optional[FaultInjector] = None,
+        reliability: Optional[ReliabilityModel] = None,
     ):
         if soft_error_rate_per_bit < 0 or soft_error_rate_per_bit > 1:
             raise ValueError("soft_error_rate_per_bit must be in [0, 1]")
@@ -229,6 +239,12 @@ class FlashDevice:
         self.store_data = store_data
         self.soft_error_rate_per_bit = soft_error_rate_per_bit
         self.fault_injector = fault_injector
+        self.reliability = reliability
+        #: Monotonic device time (us): advances with every operation's
+        #: latency plus any idle time the caller deposits via
+        #: :meth:`advance_clock`.  The reliability model's retention
+        #: term ages data against this clock.
+        self.clock_us = 0.0
         self.stats = FlashStats()
         #: Optional :class:`repro.telemetry.Telemetry` handle.  ``None``
         #: (the default) keeps every operation on the historical code
@@ -314,6 +330,7 @@ class FlashDevice:
         latency = self.timing.read_us(frame.mode)
         self.stats.reads += 1
         self.stats.record(latency, self.power.active_w, kind="read")
+        self.clock_us += latency
         # No telemetry hook here: nand.reads is harvested from
         # DeviceStats at end of run (Telemetry.harvest_cache_counters).
         errors = self._raw_bit_errors(frame)
@@ -325,6 +342,12 @@ class FlashDevice:
             else:
                 errors += injector.read_fault_bits(address.block,
                                                    address.frame)
+        model = self.reliability
+        if model is not None:
+            errors += model.read_errors(
+                address.block, address.frame, frame.damage, frame.mode,
+                self.clock_us, self.geometry.cells_per_frame)
+            model.note_read(address.block, address.frame)
         return ReadResult(
             latency_us=latency,
             raw_bit_errors=errors,
@@ -363,6 +386,7 @@ class FlashDevice:
             frame.states[address.subpage] = PageState.PROGRAMMED
             self.stats.programs += 1
             self.stats.record(latency, self.power.active_w, kind="program")
+            self.clock_us += latency
             telemetry = self.telemetry
             if telemetry is not None:
                 telemetry.nand_fault("program")
@@ -372,6 +396,10 @@ class FlashDevice:
             frame.data[address.subpage] = data
         self.stats.programs += 1
         self.stats.record(latency, self.power.active_w, kind="program")
+        self.clock_us += latency
+        model = self.reliability
+        if model is not None:
+            model.note_program(address.block, address.frame, self.clock_us)
         # No telemetry hook here: nand.* counters are harvested from
         # DeviceStats at end of run (Telemetry.harvest_cache_counters).
         return ProgramResult(latency_us=latency, mode=frame.mode)
@@ -402,6 +430,7 @@ class FlashDevice:
             )
             self.stats.erases += 1
             self.stats.record(latency, self.power.active_w, kind="erase")
+            self.clock_us += latency
             telemetry = self.telemetry
             if telemetry is not None:
                 telemetry.nand_erase(latency)
@@ -424,6 +453,11 @@ class FlashDevice:
         self._erase_counts[block] += 1
         self.stats.erases += 1
         self.stats.record(latency, self.power.active_w, kind="erase")
+        self.clock_us += latency
+        model = self.reliability
+        if model is not None:
+            model.note_erase(block, self.clock_us,
+                             self.geometry.frames_per_block)
         telemetry = self.telemetry
         if telemetry is not None:
             telemetry.nand_erase(latency)
@@ -467,6 +501,18 @@ class FlashDevice:
     def raw_bit_errors_at(self, block: int, frame: int) -> int:
         """Current raw error count for a frame without a timed read."""
         return self._raw_bit_errors(self._frame(block, frame))
+
+    def advance_clock(self, idle_us: float) -> None:
+        """Deposit idle device time on :attr:`clock_us`.
+
+        Operations advance the clock by their own latency; callers that
+        model dwell time between operations (retention studies, the
+        regime simulator) add it here so data genuinely ages while the
+        device sits idle.
+        """
+        if idle_us < 0:
+            raise ValueError("idle_us must be non-negative")
+        self.clock_us += idle_us
 
     def age_block(self, block: int, cycles: float) -> None:
         """Deposit ``cycles`` W/E cycles of damage in every frame of a block

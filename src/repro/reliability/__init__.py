@@ -1,0 +1,22 @@
+"""``repro.reliability`` — physics-grounded NAND error processes + scrub.
+
+The deterministic, seeded error-process model
+(:class:`~repro.reliability.model.ReliabilityModel`) computes per-frame
+raw bit error counts from wear, retention age, read-disturb and
+program-interference accumulation, and per-block process variation; the
+scrub policy (:class:`~repro.reliability.scrub.Scrubber`) is the
+countermeasure.  Both are off (``None``) by default everywhere, keeping
+every pre-existing figure byte-identical.  See DESIGN.md section 13.
+"""
+
+from .model import ReliabilityConfig, ReliabilityModel, ReliabilityStats
+from .scrub import ScrubConfig, ScrubStats, Scrubber
+
+__all__ = [
+    "ReliabilityConfig",
+    "ReliabilityModel",
+    "ReliabilityStats",
+    "ScrubConfig",
+    "ScrubStats",
+    "Scrubber",
+]

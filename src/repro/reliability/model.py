@@ -1,0 +1,304 @@
+"""Physics-grounded NAND error-process model (robustness studies).
+
+The event-style :mod:`repro.faults` injector covers *discrete* failures
+(read-disturb bursts, program/erase status faults, infant mortality);
+this module covers the slow error physics that actually drives the
+paper's adaptive controller, following the error taxonomy of Luo's
+thesis ("Architectural Techniques for Improving NAND Flash Memory
+Reliability", PAPERS.md):
+
+* **wear** — the raw bit error rate (RBER) grows polynomially with P/E
+  cycles; the per-frame damage the wear model already tracks feeds a
+  ``(1 + damage/spec_cycles) ** wear_accel`` acceleration factor;
+* **retention** — charge leaks while data sits: RBER grows with the
+  *device-time* age of the data since it was programmed, and faster on
+  worn cells (retention loss dominates end-of-life error budgets);
+* **read disturb** — every read of a frame weakly programs it; errors
+  accumulate with the read count since the last program;
+* **program interference** — programming a page shifts the threshold
+  voltages of already-programmed neighbour frames;
+* **process variation** — blocks are not born equal: each block carries
+  a lognormal RBER multiplier drawn from the seed alone.
+
+Determinism contract (the same one :class:`~repro.faults.FaultInjector`
+honours): every random quantity flows from an independent
+``derive_seed``-keyed stream.  The per-block multiplier is a pure
+function of (seed, block); per-frame error draws come from a per-frame
+RNG, so the error counts a frame observes depend only on the seed and on
+that frame's own operation history — never on the order other frames
+were touched — which makes results identical at any sweep worker count.
+
+The model *composes with* the injector: :class:`~repro.flash.device.
+FlashDevice` adds the model's error count to the wear-sampler and
+injector errors on every read.  ``None`` (the default everywhere)
+changes nothing, so every pre-existing figure stays byte-identical.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+from random import Random
+from typing import Dict, Tuple
+
+from ..flash.timing import CellMode
+from ..parallel import derive_seed
+
+__all__ = ["ReliabilityConfig", "ReliabilityStats", "ReliabilityModel"]
+
+#: Above this expected error count a read is deeply uncorrectable (the
+#: hardware tops out at t=12); the Poisson draw is replaced by its
+#: rounded mean, which avoids pathological Knuth-loop lengths without
+#: changing any reachable decode outcome.
+_POISSON_MEAN_LIMIT = 64.0
+
+
+@dataclass(frozen=True)
+class ReliabilityConfig:
+    """Error-process rates and shapes; all rates default to zero.
+
+    RBER contributions are per-bit probabilities and must lie in
+    ``[0, 1]`` — the same bound :class:`~repro.faults.FaultConfig`
+    enforces on its rates.
+    """
+
+    #: Per-bit error probability of fresh, unworn, just-programmed data.
+    base_rber: float = 0.0
+    #: Added RBER per ``retention_unit_us`` of data age.
+    retention_rber_per_unit: float = 0.0
+    #: Device time (us) of one retention unit.
+    retention_unit_us: float = 1e9
+    #: Added RBER per read of the frame since its last program.
+    read_disturb_rber_per_read: float = 0.0
+    #: Added RBER per program of a neighbouring frame.
+    interference_rber_per_program: float = 0.0
+    #: Rated P/E endurance anchoring the wear acceleration.
+    spec_cycles: float = 10_000.0
+    #: Exponent of the ``(1 + damage/spec_cycles)`` wear factor.
+    wear_accel: float = 2.0
+    #: Sigma of the per-block lognormal RBER multiplier (0 = identical
+    #: blocks).
+    block_sigma: float = 0.0
+    #: MLC frames see this multiple of the SLC RBER (tighter margins).
+    mlc_factor: float = 4.0
+    seed: int = 0
+
+    def __post_init__(self) -> None:
+        for name in ("base_rber", "retention_rber_per_unit",
+                     "read_disturb_rber_per_read",
+                     "interference_rber_per_program"):
+            value = getattr(self, name)
+            if not 0.0 <= value <= 1.0:
+                raise ValueError(f"{name} must be in [0, 1], got {value}")
+        if self.retention_unit_us <= 0:
+            raise ValueError("retention_unit_us must be positive")
+        if self.spec_cycles <= 0:
+            raise ValueError("spec_cycles must be positive")
+        if self.wear_accel < 0:
+            raise ValueError("wear_accel must be non-negative")
+        if self.block_sigma < 0:
+            raise ValueError("block_sigma must be non-negative")
+        if self.mlc_factor < 1.0:
+            raise ValueError("mlc_factor must be >= 1 (MLC is never "
+                             "more robust than SLC)")
+
+    @property
+    def any_enabled(self) -> bool:
+        return (self.base_rber > 0.0
+                or self.retention_rber_per_unit > 0.0
+                or self.read_disturb_rber_per_read > 0.0
+                or self.interference_rber_per_program > 0.0)
+
+    @classmethod
+    def uniform(cls, rate: float, seed: int = 0) -> "ReliabilityConfig":
+        """One knob for sweeps and the CLI: ``rate`` is the base RBER;
+        retention is an order of magnitude above it per unit (retention
+        dominates end-of-life budgets), disturb and interference orders
+        of magnitude below (they need thousands of events to matter)."""
+        return cls(
+            base_rber=rate,
+            retention_rber_per_unit=min(rate * 10.0, 1.0),
+            read_disturb_rber_per_read=rate / 100.0,
+            interference_rber_per_program=rate / 50.0,
+            block_sigma=0.35,
+            seed=seed,
+        )
+
+
+@dataclass
+class ReliabilityStats:
+    """Counts of physics-modelled error activity on the read path."""
+
+    modelled_reads: int = 0     # reads the model attached errors to
+    error_bits: int = 0         # total raw bit errors contributed
+    saturated_reads: int = 0    # reads whose expected errors hit the
+    #                             Poisson bulk limit (deep wear-out)
+
+    @property
+    def bits_per_read(self) -> float:
+        return (self.error_bits / self.modelled_reads
+                if self.modelled_reads else 0.0)
+
+
+@dataclass
+class _FrameErrorState:
+    """Per-frame history the error processes integrate over."""
+
+    programmed_at_us: float = 0.0
+    reads_since_program: int = 0
+    neighbor_programs: int = 0
+
+
+class ReliabilityModel:
+    """Seeded, deterministic error-process model queried by the device.
+
+    :class:`~repro.flash.device.FlashDevice` notifies the model of every
+    program and erase (which reset a frame's retention/disturb history)
+    and asks for an error count on every read.  The scrubbing policy
+    (:mod:`repro.reliability.scrub`) reads the same state to pick
+    refresh candidates without perturbing any RNG stream.
+    """
+
+    def __init__(self, config: ReliabilityConfig | None = None) -> None:
+        self.config = config or ReliabilityConfig()
+        self.stats = ReliabilityStats()
+        self._block_mult: Dict[int, float] = {}
+        self._frame_rngs: Dict[Tuple[int, int], Random] = {}
+        self._states: Dict[Tuple[int, int], _FrameErrorState] = {}
+
+    # -- per-block process variation -------------------------------------------
+
+    def block_multiplier(self, block: int) -> float:
+        """Lognormal RBER multiplier of ``block``.
+
+        A pure function of (seed, block) — independent of query order —
+        so sweeps that touch blocks in different orders still see the
+        same weak and strong blocks.
+        """
+        sigma = self.config.block_sigma
+        if sigma <= 0.0:
+            return 1.0
+        cached = self._block_mult.get(block)
+        if cached is None:
+            block_seed = derive_seed(self.config.seed,
+                                     f"reliability:block:{block}")
+            cached = math.exp(sigma * Random(block_seed).gauss(0.0, 1.0))
+            self._block_mult[block] = cached
+        return cached
+
+    # -- frame history ----------------------------------------------------------
+
+    def _state(self, block: int, frame: int) -> _FrameErrorState:
+        key = (block, frame)
+        state = self._states.get(key)
+        if state is None:
+            state = self._states[key] = _FrameErrorState()
+        return state
+
+    def note_program(self, block: int, frame: int, now_us: float) -> None:
+        """A frame was programmed: its own history resets (fresh data),
+        and already-written neighbour frames absorb interference."""
+        state = self._state(block, frame)
+        state.programmed_at_us = now_us
+        state.reads_since_program = 0
+        state.neighbor_programs = 0
+        if self.config.interference_rber_per_program > 0.0:
+            if frame > 0:
+                self._state(block, frame - 1).neighbor_programs += 1
+            self._state(block, frame + 1).neighbor_programs += 1
+
+    def note_read(self, block: int, frame: int) -> None:
+        self._state(block, frame).reads_since_program += 1
+
+    def note_erase(self, block: int, now_us: float, frames: int) -> None:
+        """A block erase wipes every frame's accumulated error history."""
+        for frame in range(frames):
+            state = self._states.get((block, frame))
+            if state is None:
+                continue
+            state.programmed_at_us = now_us
+            state.reads_since_program = 0
+            state.neighbor_programs = 0
+
+    def accumulate(self, block: int, frame: int, reads: int = 0,
+                   neighbor_programs: int = 0) -> None:
+        """Bulk history deposit for accelerated simulations: account for
+        ``reads`` reads and ``neighbor_programs`` neighbour programs
+        without replaying each operation."""
+        state = self._state(block, frame)
+        state.reads_since_program += reads
+        state.neighbor_programs += neighbor_programs
+
+    def retention_age_us(self, block: int, frame: int,
+                         now_us: float) -> float:
+        """Device-time age of the frame's data (scrub candidate signal)."""
+        state = self._states.get((block, frame))
+        programmed_at = state.programmed_at_us if state is not None else 0.0
+        return max(now_us - programmed_at, 0.0)
+
+    # -- error process ----------------------------------------------------------
+
+    def expected_rber(self, block: int, frame: int, damage: float,
+                      mode: CellMode, now_us: float) -> float:
+        """Deterministic expected RBER of a read right now (no RNG
+        consumed — safe for scrub policy and tests to poll)."""
+        cfg = self.config
+        state = self._states.get((block, frame))
+        if state is not None:
+            age_us = max(now_us - state.programmed_at_us, 0.0)
+            reads = state.reads_since_program
+            neighbors = state.neighbor_programs
+        else:
+            age_us = max(now_us, 0.0)
+            reads = 0
+            neighbors = 0
+        wear = (1.0 + max(damage, 0.0) / cfg.spec_cycles) ** cfg.wear_accel
+        rber = (cfg.base_rber
+                + cfg.retention_rber_per_unit
+                * (age_us / cfg.retention_unit_us)
+                + cfg.read_disturb_rber_per_read * reads
+                + cfg.interference_rber_per_program * neighbors) * wear
+        rber *= self.block_multiplier(block)
+        if mode is CellMode.MLC:
+            rber *= cfg.mlc_factor
+        return min(rber, 1.0)
+
+    def read_errors(self, block: int, frame: int, damage: float,
+                    mode: CellMode, now_us: float, cells: int) -> int:
+        """Raw bit errors this read observes (Poisson around the
+        expected count, from the frame's own RNG stream)."""
+        rber = self.expected_rber(block, frame, damage, mode, now_us)
+        if rber <= 0.0:
+            return 0
+        count = self._poisson(block, frame, rber * cells)
+        count = min(count, cells)
+        self.stats.modelled_reads += 1
+        self.stats.error_bits += count
+        return count
+
+    def _poisson(self, block: int, frame: int, mean: float) -> int:
+        if mean > _POISSON_MEAN_LIMIT:
+            # Deeply uncorrectable either way; skip the O(mean) loop.
+            self.stats.saturated_reads += 1
+            return int(round(mean))
+        key = (block, frame)
+        rng = self._frame_rngs.get(key)
+        if rng is None:
+            rng = self._frame_rngs[key] = Random(derive_seed(
+                self.config.seed, f"reliability:frame:{block}:{frame}"))
+        limit = math.exp(-mean)
+        count = 0
+        product = rng.random()
+        while product > limit:
+            count += 1
+            product *= rng.random()
+        return count
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        c = self.config
+        return (f"ReliabilityModel(base={c.base_rber}, "
+                f"retention={c.retention_rber_per_unit}/"
+                f"{c.retention_unit_us}us, "
+                f"disturb={c.read_disturb_rber_per_read}, "
+                f"interference={c.interference_rber_per_program}, "
+                f"sigma={c.block_sigma}, seed={c.seed})")

@@ -26,6 +26,7 @@ from ..core.hierarchy import DramOnlySystem, FlashBackedSystem
 from ..dram.page_cache import PdcStats
 from ..faults.injector import FaultStats
 from ..power.models import PowerBreakdown, system_power_breakdown
+from ..reliability import ReliabilityStats, ScrubStats
 from ..telemetry import LatencyHistogram, Telemetry, TraceSampler
 from ..telemetry.timeseries import TimeSeries
 from ..workloads.trace import TraceRecord
@@ -56,6 +57,11 @@ class SimulationReport:
     # -- degradation metrics (present only for Flash-backed systems) ---------
     controller: Optional[ControllerStats] = None
     faults: Optional[FaultStats] = None
+    #: Error-process model totals (present only when a
+    #: :class:`~repro.reliability.ReliabilityModel` ran on the device).
+    reliability: Optional[ReliabilityStats] = None
+    #: Background retention-scrub totals (present only with a scrubber).
+    scrub: Optional[ScrubStats] = None
     #: Fraction of the Flash cache's original page capacity still serving.
     flash_live_capacity: float = 1.0
     #: True when the cache fell below its minimum-blocks floor and the
@@ -168,6 +174,8 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
     flash_stats = None
     controller_stats = None
     fault_stats = None
+    reliability_stats = None
+    scrub_stats = None
     live_capacity = 1.0
     degraded = False
     if isinstance(system, FlashBackedSystem):
@@ -179,6 +187,12 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
         injector = flash.controller.device.fault_injector
         if injector is not None:
             fault_stats = injector.stats
+        reliability_model = flash.controller.device.reliability
+        if reliability_model is not None:
+            reliability_stats = reliability_model.stats
+        scrubber = getattr(system, "scrubber", None)
+        if scrubber is not None:
+            scrub_stats = scrubber.stats
         live_capacity = flash.live_capacity_fraction()
         degraded = flash.degraded
         if telemetry is not None:
@@ -200,6 +214,8 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
         disk_writes=system.disk.writes,
         controller=controller_stats,
         faults=fault_stats,
+        reliability=reliability_stats,
+        scrub=scrub_stats,
         flash_live_capacity=live_capacity,
         flash_degraded=degraded,
         response_bytes=(server.response_bytes if server is not None

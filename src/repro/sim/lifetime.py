@@ -32,7 +32,7 @@ from __future__ import annotations
 
 import heapq
 import math
-from dataclasses import dataclass, field
+from dataclasses import dataclass, field, replace
 from random import Random
 from typing import Dict, List, Optional, Tuple
 
@@ -47,11 +47,20 @@ from ..parallel import derive_seed
 from ..flash.geometry import FlashGeometry, PageAddress
 from ..flash.timing import CellMode
 from ..flash.wear import CellLifetimeModel, WearModelConfig
+from ..reliability import (
+    ReliabilityConfig,
+    ReliabilityModel,
+    ReliabilityStats,
+    ScrubConfig,
+    ScrubStats,
+)
 from ..workloads.macro import MACRO_WORKLOADS, _MICRO_SPECS, MacroWorkloadSpec
 from ..workloads.synthetic import SyntheticConfig
 
 __all__ = ["AgingConfig", "AgingResult", "LifetimeSimulator",
-           "simulate_lifetime", "lifetime_ratio"]
+           "simulate_lifetime", "lifetime_ratio",
+           "ErrorRegime", "RegimeConfig", "RegimeResult",
+           "RegimeSimulator", "simulate_regime", "standard_regimes"]
 
 #: Footprints are scaled to at most this many pages for the aging runs;
 #: popularity *shape* is preserved (exp rates are rescaled).
@@ -343,3 +352,417 @@ def lifetime_ratio(workload: str, seed: int = 42, **overrides) -> float:
         raise RuntimeError("baseline lifetime is zero")
     return (programmable.host_accesses_to_failure
             / fixed.host_accesses_to_failure)
+
+
+# ---------------------------------------------------------------------------
+# Error-regime simulation (physics-driven robustness studies)
+# ---------------------------------------------------------------------------
+#
+# The event-driven :class:`LifetimeSimulator` above replays only *wear*
+# (it skips the uneventful cycles between ECC-limit crossings, which is
+# exactly what makes it fast and exactly why it cannot see time-dependent
+# error processes).  The regime simulator below takes the complementary
+# approach: a coarse time-stepped loop with the full
+# :class:`~repro.reliability.ReliabilityModel` attached to the device, so
+# retention, read disturb, program interference, and process variation
+# all act on every probe read — and the scrub countermeasure
+# (:meth:`~repro.core.controller.ProgrammableFlashController.refresh_block`)
+# can fight back.  Each *step* stands for a fixed slab of real operation:
+# so many W/E cycles of write traffic per live frame, so many reads, so
+# much idle dwell time on the device clock.
+
+
+@dataclass(frozen=True)
+class ErrorRegime:
+    """One operating point of the error physics (a Figure-13 column).
+
+    A regime bundles the :class:`~repro.reliability.ReliabilityConfig`
+    rates with the traffic pattern that excites them: write heat
+    (``cycles_per_step``), read pressure (``reads_per_frame_per_step``),
+    neighbour-write interference, retention dwell, and how old the
+    device already is (``initial_cycles``).
+    """
+
+    name: str
+    reliability: ReliabilityConfig
+    #: W/E cycles every live frame accumulates per step (write heat;
+    #: wear-leveling spreads writes uniformly, as in the aging model).
+    cycles_per_step: float = 0.0
+    #: Reads each live frame absorbs per step (read-disturb pressure)
+    #: *on top of* the probe read the simulator issues itself.
+    reads_per_frame_per_step: int = 0
+    #: Neighbour programs deposited per frame per step (interference).
+    neighbor_programs_per_step: int = 0
+    #: Device idle time (us) added per step (retention exposure).
+    dwell_us_per_step: float = 0.0
+    #: P/E cycles pre-loaded into every block before the run starts
+    #: (an already-aged device).
+    initial_cycles: float = 0.0
+    #: Host write share, converting page writes to host accesses.
+    write_fraction: float = 0.1
+
+    def __post_init__(self) -> None:
+        if self.cycles_per_step < 0 or self.initial_cycles < 0:
+            raise ValueError("cycle counts must be non-negative")
+        if (self.reads_per_frame_per_step < 0
+                or self.neighbor_programs_per_step < 0):
+            raise ValueError("per-step event counts must be non-negative")
+        if self.dwell_us_per_step < 0:
+            raise ValueError("dwell_us_per_step must be non-negative")
+        if not 0.0 < self.write_fraction <= 1.0:
+            raise ValueError("write_fraction must be in (0, 1]")
+
+
+def standard_regimes() -> Dict[str, ErrorRegime]:
+    """The three canonical regimes of the fig13 sweep.
+
+    Rates are tuned so expected raw error counts per frame read
+    (``RBER * ~16.9k cells``) traverse the controller's t in [1, 12]
+    BCH window over a run — low enough to start correctable, high
+    enough to force repair decisions.
+    """
+    return {
+        # Cold data sitting on a mostly idle device: essentially no
+        # write traffic, so nothing refreshes naturally and retention
+        # dominates.  Scrubbing is the only thing standing between this
+        # regime and uncorrectable rot.
+        "archival_cold": ErrorRegime(
+            name="archival_cold",
+            reliability=ReliabilityConfig(
+                base_rber=1e-6,
+                retention_rber_per_unit=3e-6,
+                retention_unit_us=1e9,
+                read_disturb_rber_per_read=1e-8,
+                block_sigma=0.3,
+            ),
+            cycles_per_step=0.05,
+            reads_per_frame_per_step=1,
+            dwell_us_per_step=2e9,
+            write_fraction=0.02,
+        ),
+        # A write-hot tenant: heavy program traffic ages cells fast and
+        # sprays interference, but also rewrites data constantly, so
+        # retention never accumulates.  Wear is what kills here — the
+        # regime where the adaptive controller's repair ladder pays.
+        "write_hot": ErrorRegime(
+            name="write_hot",
+            reliability=ReliabilityConfig(
+                base_rber=1e-6,
+                retention_rber_per_unit=1e-7,
+                retention_unit_us=1e9,
+                read_disturb_rber_per_read=5e-9,
+                interference_rber_per_program=2e-8,
+                wear_accel=2.0,
+                block_sigma=0.3,
+            ),
+            cycles_per_step=40.0,
+            reads_per_frame_per_step=4,
+            neighbor_programs_per_step=4,
+            dwell_us_per_step=1e8,
+            write_fraction=0.6,
+        ),
+        # A device already most of the way through its rated endurance:
+        # moderate mixed traffic, but the wear acceleration factor
+        # multiplies every other error process from step one.
+        "aged_device": ErrorRegime(
+            name="aged_device",
+            reliability=ReliabilityConfig(
+                base_rber=1e-6,
+                retention_rber_per_unit=8e-7,
+                retention_unit_us=1e9,
+                read_disturb_rber_per_read=1e-8,
+                interference_rber_per_program=1e-8,
+                wear_accel=2.5,
+                block_sigma=0.3,
+            ),
+            cycles_per_step=10.0,
+            reads_per_frame_per_step=2,
+            neighbor_programs_per_step=1,
+            dwell_us_per_step=5e8,
+            initial_cycles=7_000.0,
+            write_fraction=0.3,
+        ),
+    }
+
+
+@dataclass(frozen=True)
+class RegimeConfig:
+    """Configuration of one error-regime run."""
+
+    regime: ErrorRegime
+    controller: str = "programmable"      # or "bch1"
+    num_blocks: int = 8
+    frames_per_block: int = 4
+    stdev_frac: float = 0.05
+    seed: int = 42
+    max_steps: int = 400
+    #: Scrub policy; ``None`` disables background refresh.
+    scrub: Optional[ScrubConfig] = None
+
+    def __post_init__(self) -> None:
+        if self.controller not in ("programmable", "bch1"):
+            raise ValueError("controller must be 'programmable' or 'bch1'")
+        if self.num_blocks < 1 or self.frames_per_block < 1:
+            raise ValueError("geometry must be non-trivial")
+        if self.max_steps < 1:
+            raise ValueError("max_steps must be >= 1")
+
+
+@dataclass
+class RegimeResult:
+    """Outcome of one error-regime run."""
+
+    config: RegimeConfig
+    steps_run: int
+    host_accesses: float
+    page_writes: float
+    erase_cycles: float
+    probe_reads: int
+    uncorrectable_reads: int
+    #: True when the device outlived ``max_steps`` (did not totally fail).
+    survived: bool
+    controller_stats: ControllerStats
+    reliability: ReliabilityStats
+    scrub: Optional[ScrubStats] = None
+    first_choices: Dict[str, int] = field(default_factory=dict)
+
+    @property
+    def uber(self) -> float:
+        """Uncorrectable bit error rate: uncorrectable reads per bit
+        read (the denominator counts every controller read's cells)."""
+        if self.probe_reads == 0:
+            return 0.0
+        return (self.uncorrectable_reads
+                / (self.probe_reads * _REGIME_CELLS_PER_FRAME))
+
+    @property
+    def repair_breakdown(self) -> Dict[str, float]:
+        """Lifetime-wide repair-choice mix (ECC vs density)."""
+        return self.controller_stats.reconfig_breakdown()
+
+
+#: Bits per frame under the default 2048+64-byte page geometry — the
+#: UBER denominator's per-read bit count.
+_REGIME_CELLS_PER_FRAME = (2048 + 64) * 8
+
+
+class RegimeSimulator:
+    """Time-stepped device aging under one error regime.
+
+    Each step deposits the regime's traffic (wear cycles, reads,
+    neighbour programs, dwell time) into the device and the reliability
+    model, then issues one *real* probe read per live frame so the
+    controller's retry ladder, ECC escalation, and density downgrades
+    all respond to the physics.  Optionally a scrub pass (whole-block
+    :meth:`~repro.core.controller.ProgrammableFlashController.refresh_block`)
+    runs whenever the scrub interval elapses on the device clock.
+
+    Determinism: the device, wear model, and reliability model all seed
+    their streams from ``config.seed`` via ``derive_seed``; the step
+    loop itself consumes no randomness, so one (regime, controller,
+    seed) triple always produces the same trajectory.
+    """
+
+    def __init__(self, config: RegimeConfig):
+        self.config = config
+        regime = config.regime
+        geometry = FlashGeometry(
+            frames_per_block=config.frames_per_block,
+            num_blocks=config.num_blocks,
+        )
+        lifetime_model = CellLifetimeModel(
+            WearModelConfig(stdev_frac=config.stdev_frac,
+                            cells_per_page=geometry.cells_per_frame))
+        # Rebase the model's stream on the run seed so regime sweeps over
+        # seeds decorrelate, while the regime's rates stay authoritative.
+        self.model = ReliabilityModel(replace(
+            regime.reliability,
+            seed=derive_seed(config.seed, f"regime:{regime.name}")))
+        self.device = FlashDevice(
+            geometry=geometry,
+            lifetime_model=lifetime_model,
+            initial_mode=CellMode.MLC,
+            seed=config.seed,
+            reliability=self.model,
+        )
+        if config.controller == "programmable":
+            self.controller = ProgrammableFlashController(self.device)
+        else:
+            self.controller = FixedEccController(self.device, strength=1)
+        self._prime()
+
+    def _prime(self) -> None:
+        """Steady-state context: valid representative pages with seeded
+        access counts, FGST statistics for the repair heuristic, and any
+        pre-existing age the regime specifies."""
+        cfg = self.config
+        rng = Random(derive_seed(cfg.seed, "regime:fpst-prime"))
+        fgst = self.controller.fgst
+        fgst.hits = 900_000
+        fgst.misses = 100_000
+        fgst.total_accesses = 1_000_000
+        fgst.avg_hit_latency_us = self.device.timing.mlc_read_us
+        fgst.avg_miss_penalty_us = 4200.0
+        self.controller.marginal_miss_estimate = 1e-4
+        self._frame_freq: Dict[Tuple[int, int], int] = {}
+        for block in range(cfg.num_blocks):
+            for frame in range(cfg.frames_per_block):
+                count = rng.randrange(100, 10_000)
+                self._frame_freq[(block, frame)] = count
+                entry = self.controller.fpst.entry(
+                    PageAddress(block, frame, 0))
+                entry.access_count = count
+                entry.valid = True
+            if cfg.regime.initial_cycles > 0:
+                self.device.age_block(block, cfg.regime.initial_cycles)
+
+    def _restore_block_entries(self, block: int) -> None:
+        for frame in range(self.config.frames_per_block):
+            entry = self.controller.fpst.entry(PageAddress(block, frame, 0))
+            entry.valid = True
+            entry.access_count = self._frame_freq[(block, frame)]
+
+    def _live_blocks(self) -> List[int]:
+        return list(self.controller.fbst.live_blocks())
+
+    def run(self) -> RegimeResult:
+        cfg = self.config
+        regime = cfg.regime
+        controller = self.controller
+        device = self.device
+        model = self.model
+        scrub_stats = ScrubStats() if cfg.scrub is not None else None
+        last_scrub_us = 0.0
+        cycles_since_rewrite = 0.0
+        page_writes = 0.0
+        erase_cycles = 0.0
+        probe_reads = 0
+        uncorrectable = 0
+        first_choices: Dict[str, int] = {}
+        decided: set[Tuple[int, int]] = set()
+        steps = 0
+
+        for _ in range(cfg.max_steps):
+            if controller.all_blocks_retired:
+                break
+            steps += 1
+            live = self._live_blocks()
+            # -- deposit this step's traffic into the physics ------------
+            if regime.cycles_per_step > 0:
+                live_pages = 0
+                for block in live:
+                    live_pages += device.block_capacity_pages(block)
+                    device.age_block(block, regime.cycles_per_step)
+                page_writes += regime.cycles_per_step * live_pages
+                erase_cycles += regime.cycles_per_step
+            if regime.dwell_us_per_step > 0:
+                device.advance_clock(regime.dwell_us_per_step)
+            if (regime.reads_per_frame_per_step
+                    or regime.neighbor_programs_per_step):
+                for block in live:
+                    for frame in range(cfg.frames_per_block):
+                        model.accumulate(
+                            block, frame,
+                            reads=regime.reads_per_frame_per_step,
+                            neighbor_programs=(
+                                regime.neighbor_programs_per_step))
+            # Steady-state rewrite traffic refreshes data roughly once
+            # per full W/E cycle of writes: a write-hot regime never
+            # accumulates retention age, an archival one always does.
+            cycles_since_rewrite += regime.cycles_per_step
+            if cycles_since_rewrite >= 1.0:
+                cycles_since_rewrite = 0.0
+                for block in live:
+                    model.note_erase(block, device.clock_us,
+                                     cfg.frames_per_block)
+            # -- probe reads: the controller sees the physics ------------
+            for block in live:
+                if controller.is_retired(block):
+                    continue
+                for frame in range(cfg.frames_per_block):
+                    address = PageAddress(block, frame, 0)
+                    entry = controller.fpst.get(address)
+                    if entry is None or not entry.valid:
+                        continue
+                    entry.access_count = self._frame_freq[(block, frame)]
+                    probe_reads += 1
+                    result = controller.read(address)
+                    if not result.recovered:
+                        uncorrectable += 1
+                    if (result.reconfig is not None
+                            and (block, frame) not in decided):
+                        decided.add((block, frame))
+                        first_choices[result.reconfig.value] = \
+                            first_choices.get(result.reconfig.value, 0) + 1
+                    if result.reconfig is not None or not result.recovered:
+                        if (block, frame) in controller._pending_modes:
+                            controller.erase(block)
+                            self._restore_block_entries(block)
+                    if controller.is_retired(block):
+                        break
+            # -- scrub countermeasure ------------------------------------
+            if (cfg.scrub is not None
+                    and device.clock_us - last_scrub_us
+                    >= cfg.scrub.interval_us):
+                last_scrub_us = device.clock_us
+                self._scrub_pass(scrub_stats)
+
+        host_accesses = page_writes / regime.write_fraction
+        return RegimeResult(
+            config=cfg,
+            steps_run=steps,
+            host_accesses=host_accesses,
+            page_writes=page_writes,
+            erase_cycles=erase_cycles,
+            probe_reads=probe_reads,
+            uncorrectable_reads=uncorrectable,
+            survived=not controller.all_blocks_retired,
+            controller_stats=controller.stats,
+            reliability=model.stats,
+            scrub=scrub_stats,
+            first_choices=first_choices,
+        )
+
+    def _scrub_pass(self, stats: Optional[ScrubStats]) -> None:
+        """Refresh every live block whose representative data has aged
+        past the scrub threshold (whole-block in-place refresh)."""
+        assert stats is not None
+        cfg = self.config
+        scrub = cfg.scrub
+        assert scrub is not None
+        controller = self.controller
+        device = self.device
+        model = self.model
+        stats.passes += 1
+        budget = scrub.max_pages_per_pass
+        for block in self._live_blocks():
+            if budget <= 0 or controller.is_retired(block):
+                continue
+            stats.pages_scanned += cfg.frames_per_block
+            age_us = model.retention_age_us(block, 0, device.clock_us)
+            if age_us < scrub.min_age_us:
+                continue
+            budget -= cfg.frames_per_block
+            reads_before = device.stats.reads
+            programs_before = device.stats.programs
+            uncorrectable_before = controller.stats.uncorrectable_reads
+            elapsed = controller.refresh_block(block)
+            stats.scrub_reads += device.stats.reads - reads_before
+            stats.page_rewrites += device.stats.programs - programs_before
+            stats.uncorrectable_found += (
+                controller.stats.uncorrectable_reads - uncorrectable_before)
+            stats.busy_us += elapsed
+            if not controller.is_retired(block):
+                stats.blocks_refreshed += 1
+                self._restore_block_entries(block)
+
+
+def simulate_regime(regime: ErrorRegime | str,
+                    controller: str = "programmable",
+                    seed: int = 42, **overrides) -> RegimeResult:
+    """One-call regime run; ``regime`` may be a standard-regime name."""
+    if isinstance(regime, str):
+        regime = standard_regimes()[regime]
+    config = RegimeConfig(regime=regime, controller=controller,
+                          seed=seed, **overrides)
+    return RegimeSimulator(config).run()

@@ -102,6 +102,9 @@ class Telemetry:
         self._c_reconfig_density = registry.counter("flash.reconfig.density")
         self._c_retired = registry.counter("flash.blocks_retired")
         self._c_degraded = registry.counter("flash.degraded_events")
+        self._c_scrub_passes = registry.counter("flash.scrub_passes")
+        self._c_scrub_rewrites = registry.counter("flash.scrub_page_rewrites")
+        self.scrub_pass_latency = registry.histogram("flash.scrub_pass_us")
 
     # -- series ----------------------------------------------------------------
 
@@ -272,6 +275,15 @@ class Telemetry:
     def degrade(self) -> None:
         self._c_degraded.inc()
         self._publish(EventKind.DEGRADE, "flash")
+
+    def scrub(self, elapsed_us: float, page_rewrites: int) -> None:
+        """One background retention-scrub pass finished.  Cold path — a
+        pass happens once per scrub interval, not per request."""
+        self._c_scrub_passes.inc()
+        self._c_scrub_rewrites.inc(page_rewrites)
+        self.scrub_pass_latency.observe(elapsed_us)
+        self._publish(EventKind.SCRUB, "flash", elapsed_us,
+                      value=float(page_rewrites))
 
     # -- wiring ----------------------------------------------------------------
 

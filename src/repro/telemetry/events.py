@@ -31,7 +31,7 @@ class EventKind(enum.Enum):
     ``FAULT`` is any hardware fault surfacing (uncorrectable read,
     program/erase status failure); ``RETIRE`` is a block leaving service
     permanently; ``DEGRADE`` is the cache dropping to the DRAM+disk
-    bypass.
+    bypass; ``SCRUB`` is one background retention-scrub pass.
     """
 
     READ = "read"
@@ -43,6 +43,7 @@ class EventKind(enum.Enum):
     FAULT = "fault"
     RETIRE = "retire"
     DEGRADE = "degrade"
+    SCRUB = "scrub"
 
 
 @dataclass(frozen=True)

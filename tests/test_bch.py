@@ -144,6 +144,31 @@ class TestDecoding:
         # 5 errors can never look like <= 2 errors of the same word.
         assert outcomes["detected"] + outcomes["miscorrected"] == 40
 
+    @pytest.mark.parametrize("m,t", [(7, 2), (8, 3), (9, 4)])
+    def test_exactly_t_errors_is_the_correction_boundary(self, m, t):
+        """The edge the adaptive controller's ECC ladder lives on: a
+        pattern of exactly t errors always corrects, and the same
+        pattern plus one more error never quietly returns the original
+        codeword — it either raises or lands on a different word."""
+        code = BCHCode(m, t)
+        rng = random.Random(m * 1000 + t)
+        for trial in range(10):
+            message = rng.getrandbits(code.params.k)
+            codeword = code.encode_bits(message)
+            positions = rng.sample(range(code.params.n), t + 1)
+            at_t = codeword
+            for position in positions[:t]:
+                at_t ^= 1 << position
+            result = code.decode_bits(at_t)
+            assert result.codeword == codeword
+            assert result.corrected == t
+            beyond_t = at_t ^ (1 << positions[t])
+            try:
+                beyond = code.decode_bits(beyond_t)
+            except BCHDecodeFailure:
+                continue
+            assert beyond.codeword != codeword
+
     def test_decode_rejects_oversized_word(self):
         code = BCHCode(5, 1)
         with pytest.raises(ValueError):

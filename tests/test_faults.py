@@ -101,6 +101,18 @@ class TestFaultConfig:
         assert cfg.erase_fail_rate < cfg.program_fail_rate
         assert cfg.seed == 5
 
+    @pytest.mark.parametrize("field", [
+        "read_disturb_rate", "program_fail_rate",
+        "erase_fail_rate", "infant_mortality_rate",
+    ])
+    def test_each_probability_field_rejects_above_one(self, field):
+        # Probabilities live in [0, 1]; 1.0 itself is the legal maximum.
+        FaultConfig(**{field: 1.0})
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: 1.0000001})
+        with pytest.raises(ValueError, match=field):
+            FaultConfig(**{field: 2.0})
+
 
 class TestInjectorDeterminism:
     def test_same_seed_same_decisions(self):
@@ -139,6 +151,18 @@ class TestInjectorDeterminism:
             == [8, 4, 2, 1]
         assert injector.stats.read_disturbs == 1
         assert injector.stats.disturbed_reads == 4
+
+    def test_zero_span_burst_is_a_single_full_strength_read(self):
+        # span=0 is the degenerate burst: exactly one disturbed read at
+        # full strength, no decay tail, and the next burst re-arms
+        # independently (rate=1.0 makes every read start one).
+        injector = FaultInjector(FaultConfig(
+            read_disturb_rate=1.0, read_disturb_bits=8,
+            read_disturb_span=0, seed=1))
+        assert [injector.read_fault_bits(0, 0) for _ in range(3)] \
+            == [8, 8, 8]
+        assert injector.stats.read_disturbs == 3
+        assert injector.stats.disturbed_reads == 3
 
 
 # ---------------------------------------------------------------------------

@@ -293,6 +293,19 @@ class TestWorkerCountInvariance:
         assert serial["meta"]["errors"] == {}
         assert parallel["meta"]["errors"] == {}
 
+    def test_fig13_error_regimes_identical_across_workers(self):
+        """The error-process model's per-frame RNG streams and the
+        RNG-free scrub schedule must make regime results — error counts,
+        scrub decisions, UBER — identical at any worker count."""
+        from repro.experiments.report import ReportScale
+
+        scale = ReportScale.quick()
+        serial = run_sweep(figures=["fig13"], scale=scale, workers=1)
+        parallel = run_sweep(figures=["fig13"], scale=scale, workers=4)
+        assert serial["figures"] == parallel["figures"]
+        assert serial["meta"]["errors"] == {}
+        assert parallel["meta"]["errors"] == {}
+
     def test_run_sweep_rejects_unknown_figure(self):
         with pytest.raises(KeyError, match="unknown sweep figures"):
             run_sweep(figures=["fig99"])
