@@ -56,7 +56,8 @@ from .flash import (
     WearModelConfig,
 )
 from .faults import FaultConfig, FaultInjector, FaultStats
-from .sim import run_trace, ServerModel, simulate_lifetime, lifetime_ratio
+from .sim import run_trace, run_trace_concurrent, ServerModel, \
+    simulate_lifetime, lifetime_ratio
 from .workloads import TraceRecord, build_workload, read_spc
 from .power import system_power_breakdown
 
@@ -90,6 +91,7 @@ __all__ = [
     "CellLifetimeModel",
     "WearModelConfig",
     "run_trace",
+    "run_trace_concurrent",
     "ServerModel",
     "simulate_lifetime",
     "lifetime_ratio",

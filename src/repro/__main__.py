@@ -48,6 +48,7 @@ from .experiments import (
     fig11_reconfig,
     fig12_lifetime,
     fig13_error_regimes,
+    fig14_concurrency,
 )
 from .experiments.report import ReportScale, generate_report
 from .workloads.analysis import profile_trace
@@ -63,6 +64,7 @@ _FIGURES = {
     "fig11": fig11_reconfig.main,
     "fig12": fig12_lifetime.main,
     "fig13": fig13_error_regimes.main,
+    "fig14": fig14_concurrency.main,
     "faults": fault_degradation.main,
 }
 
@@ -80,6 +82,19 @@ def _add_reliability_arguments(parser: argparse.ArgumentParser) -> None:
         "--scrub-interval", type=float, default=0.0, metavar="US",
         help="device time (us) between background retention-scrub "
              "passes (0 disables; needs --reliability-rate > 0)")
+
+
+def _add_concurrency_arguments(parser: argparse.ArgumentParser) -> None:
+    parser.add_argument(
+        "--queue-depth", type=int, default=1,
+        help="outstanding-request window size (default 1; any value "
+             "above 1 replays timing through the event-driven engine)")
+    parser.add_argument(
+        "--channels", type=int, default=1,
+        help="NAND channels in the device fabric (default 1)")
+    parser.add_argument(
+        "--planes", type=int, default=1,
+        help="planes per channel (default 1)")
 
 
 def _build_parser() -> argparse.ArgumentParser:
@@ -171,6 +186,7 @@ def _build_parser() -> argparse.ArgumentParser:
     run.add_argument("--fault-seed", type=int, default=0,
                      help="seed of the fault injector's RNG streams")
     _add_reliability_arguments(run)
+    _add_concurrency_arguments(run)
     run.add_argument("--telemetry-out", default=None, metavar="PATH",
                      help="enable telemetry and write the JSON metrics "
                           "report (histograms + time-series) here")
@@ -194,6 +210,7 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--fault-seed", type=int, default=0,
                        help="seed of the fault injector's RNG streams")
     _add_reliability_arguments(stats)
+    _add_concurrency_arguments(stats)
     stats.add_argument("--interval", type=int, default=1000,
                        help="requests between time-series samples "
                             "(default 1000)")
@@ -201,6 +218,17 @@ def _build_parser() -> argparse.ArgumentParser:
                        help="write the telemetry report as JSON")
     stats.add_argument("--csv", default=None, metavar="PATH",
                        help="write time-series + histogram buckets as CSV")
+
+    bench = sub.add_parser(
+        "bench", help="benchmark the simulator itself: requests/sec and "
+                      "per-subsystem profile shares, written to "
+                      "BENCH_<date>.json")
+    bench.add_argument("--num-records", type=int, default=40_000,
+                       help="trace records in the benchmark workload "
+                            "(default 40000)")
+    bench.add_argument("--out", default=None, metavar="PATH",
+                       help="output path (default BENCH_<date>.json in "
+                            "the current directory)")
     return parser
 
 
@@ -235,6 +263,9 @@ def main(argv: list[str] | None = None) -> int:
         return _run_trace_command(args)
     if args.command == "stats":
         return _stats_command(args)
+    if args.command == "bench":
+        from .bench import run_bench_command
+        return run_bench_command(args)
     return 1
 
 
@@ -362,6 +393,43 @@ def _print_reliability_sections(report) -> None:
         print(f"  busy time:               {scrub.busy_us:.0f} us")
 
 
+def _print_queueing_section(report) -> None:
+    """Concurrency block: the service/queue-delay split and channel
+    utilization (prints nothing on the serial compatibility path)."""
+    queueing = report.queueing
+    if queueing is None:
+        return
+    print("queueing")
+    print(f"  window / fabric:         qd={queueing.queue_depth} "
+          f"ch={queueing.channels} planes={queueing.planes}")
+    print(f"  mean queue delay:        "
+          f"{queueing.mean_queue_delay_us:.1f} us")
+    print(f"  queue delay us:          "
+          f"p50={report.queue_delay_p50:.1f} "
+          f"p95={report.queue_delay_p95:.1f} "
+          f"p99={report.queue_delay_p99:.1f}")
+    print(f"  service latency us:      "
+          f"p50={report.service_latency_p50:.1f} "
+          f"p95={report.service_latency_p95:.1f} "
+          f"p99={report.service_latency_p99:.1f}")
+    utilization = ", ".join(f"{u:.2f}"
+                            for u in queueing.channel_utilization())
+    print(f"  channel utilization:     [{utilization}]")
+    print(f"  channel stalls:          {queueing.channel_stalls}")
+
+
+def _run_with_concurrency(args: argparse.Namespace, system, records,
+                          telemetry):
+    """Dispatch run/stats replay through the right engine."""
+    from .sim.concurrent import run_trace_concurrent
+
+    return run_trace_concurrent(system, records,
+                                queue_depth=args.queue_depth,
+                                channels=args.channels,
+                                planes=args.planes,
+                                telemetry=telemetry)
+
+
 def _print_latency_percentiles(report) -> None:
     print(f"read latency us: p50={report.read_latency_p50:.1f} "
           f"p95={report.read_latency_p95:.1f} "
@@ -372,14 +440,13 @@ def _print_latency_percentiles(report) -> None:
 
 
 def _run_trace_command(args: argparse.Namespace) -> int:
-    from .sim.engine import run_trace
     from .telemetry import Telemetry
 
     system, records, fault_config = _build_system_and_records(args)
     telemetry = None
     if args.telemetry_out is not None:
         telemetry = Telemetry(sample_interval=args.telemetry_interval)
-    report = run_trace(system, records, telemetry=telemetry)
+    report = _run_with_concurrency(args, system, records, telemetry)
     print(f"requests:        {report.requests}")
     print(f"avg latency:     {report.average_latency_us:.1f} us")
     print(f"throughput:      {report.throughput_rps:.0f} req/s")
@@ -397,6 +464,7 @@ def _run_trace_command(args: argparse.Namespace) -> int:
         print(f"retired blocks:  {flash.retired_blocks}")
         print(f"live capacity:   {report.flash_live_capacity:.3f}")
         print(f"degraded:        {report.flash_degraded}")
+    _print_queueing_section(report)
     _print_reliability_sections(report)
     if telemetry is not None:
         from .telemetry.export import write_json
@@ -408,13 +476,12 @@ def _run_trace_command(args: argparse.Namespace) -> int:
 
 
 def _stats_command(args: argparse.Namespace) -> int:
-    from .sim.engine import run_trace
     from .telemetry import Telemetry
     from .telemetry.export import write_csv, write_json
 
     system, records, _ = _build_system_and_records(args)
     telemetry = Telemetry(sample_interval=args.interval)
-    report = run_trace(system, records, telemetry=telemetry)
+    report = _run_with_concurrency(args, system, records, telemetry)
 
     print(f"requests:        {report.requests} "
           f"({report.reads} reads, {report.writes} writes)")
@@ -422,6 +489,7 @@ def _stats_command(args: argparse.Namespace) -> int:
     print(f"flash miss rate: {report.flash_miss_rate:.3%}")
     _print_latency_percentiles(report)
     print()
+    _print_queueing_section(report)
     _print_reliability_sections(report)
     print("histograms")
     for name, hist in sorted(telemetry.metrics.histograms.items()):

@@ -831,3 +831,107 @@ class AtomicWriteRule(Rule):
     def _is_path_write(node: ast.Call) -> bool:
         return (isinstance(node.func, ast.Attribute)
                 and node.func.attr in ("write_text", "write_bytes"))
+
+
+# ---------------------------------------------------------------------------
+# SIM010 — event-loop time discipline
+# ---------------------------------------------------------------------------
+
+_EVENT_LOOP_PACKAGE = "repro.sim"
+_CLOCK_ATTRS = ("clock_us", "now_us")
+
+
+@register
+class EventHandlerTimeRule(Rule):
+    """Event handlers take *now* from the loop; they never make time.
+
+    The concurrent engine's determinism rests on a single time
+    authority: :class:`repro.sim.events.EventLoop` advances ``now_us``
+    as it pops events, and every handler reads it from there.  A handler
+    that reads a wall clock, calls ``advance_clock`` on a device, or
+    writes a ``clock_us``/``now_us`` attribute forks the timeline —
+    the same trace would replay with different timings depending on
+    host speed or handler ordering.  Handlers are found syntactically:
+    any function passed as the second argument of an
+    ``EventType``-keyed ``.register(...)`` call in a ``repro.sim``
+    module.
+    """
+
+    code = "SIM010"
+    name = "event-handler-time"
+    severity = "error"
+    description = ("event-loop handlers must take time from the loop: "
+                   "no wall-clock reads, no .advance_clock() calls, no "
+                   "writes to clock_us/now_us attributes inside "
+                   "registered handlers")
+
+    def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
+        if not ctx.in_packages((_EVENT_LOOP_PACKAGE,)):
+            return
+        handlers = self._handler_names(ctx.tree)
+        if not handlers:
+            return
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef,
+                                     ast.AsyncFunctionDef)):
+                continue
+            if node.name not in handlers:
+                continue
+            yield from self._check_handler(ctx, node)
+
+    @staticmethod
+    def _handler_names(tree: ast.AST) -> set:
+        """Names of functions registered as event handlers.
+
+        Matches ``<loop>.register(EventType.X, <handler>)`` where the
+        handler is a bare name or a ``self.<name>``-style attribute.
+        """
+        names = set()
+        for node in ast.walk(tree):
+            if not (isinstance(node, ast.Call)
+                    and isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "register"
+                    and len(node.args) == 2):
+                continue
+            key = node.args[0]
+            if not (isinstance(key, ast.Attribute)
+                    and isinstance(key.value, ast.Name)
+                    and key.value.id == "EventType"):
+                continue
+            handler = node.args[1]
+            if isinstance(handler, ast.Attribute):
+                names.add(handler.attr)
+            elif isinstance(handler, ast.Name):
+                names.add(handler.id)
+        return names
+
+    def _check_handler(self, ctx: ModuleContext,
+                       func: ast.AST) -> Iterator[Finding]:
+        for node in ast.walk(func):
+            if isinstance(node, ast.Call):
+                name = _call_name(node, ctx)
+                if name in _WALL_CLOCK:
+                    yield self.finding(
+                        ctx, node,
+                        f"{name}() inside event handler "
+                        f"{func.name}(): handlers take time from "
+                        "loop.now_us, never from the host clock")
+                elif (isinstance(node.func, ast.Attribute)
+                      and node.func.attr == "advance_clock"):
+                    yield self.finding(
+                        ctx, node,
+                        f".advance_clock() inside event handler "
+                        f"{func.name}(): the loop is the only time "
+                        "authority; model latency as event delays")
+            elif isinstance(node, (ast.Assign, ast.AugAssign)):
+                targets = (node.targets if isinstance(node, ast.Assign)
+                           else [node.target])
+                for target in targets:
+                    if (isinstance(target, ast.Attribute)
+                            and target.attr in _CLOCK_ATTRS):
+                        yield self.finding(
+                            ctx, target,
+                            f"write to .{target.attr} inside event "
+                            f"handler {func.name}(): handlers must not "
+                            "advance clocks directly — post an event "
+                            "at the target time instead")

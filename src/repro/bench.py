@@ -1,0 +1,132 @@
+"""Simulator self-benchmark: ``repro bench``.
+
+Measures how fast the *simulator* runs (not the modelled device):
+wall-clock requests/sec for a fixed deterministic workload, plus a
+per-subsystem breakdown of where that wall time goes, from a
+``cProfile`` pass aggregated by ``repro.*`` subpackage.  The result is
+written to ``BENCH_<date>.json`` so successive PRs can diff simulator
+performance the way they diff figure outputs.
+
+The benchmark workload itself is deterministic (fixed seed, fixed
+record count); only the wall-clock numbers vary run to run.
+"""
+
+from __future__ import annotations
+
+import argparse
+import cProfile
+import datetime
+import json
+import pstats
+import time
+from typing import Any, Dict, List, Tuple
+
+from .atomicio import atomic_write_text
+from .core.hierarchy import build_flash_system
+from .sim.concurrent import run_trace_concurrent
+from .workloads.macro import build_workload
+
+__all__ = ["run_bench", "run_bench_command"]
+
+_SRC_MARKER = "/repro/"
+
+
+def _fresh_system_and_records(num_records: int):
+    records = build_workload("specweb99", num_records=num_records, seed=11)
+    system = build_flash_system(dram_bytes=64 << 20, flash_bytes=256 << 20)
+    return system, records
+
+
+def _subsystem_of(filename: str) -> str:
+    """Map a profiled frame's file to its ``repro`` subpackage."""
+    marker = filename.rfind(_SRC_MARKER)
+    if marker < 0:
+        return "other"
+    parts = filename[marker + len(_SRC_MARKER):].split("/")
+    return f"repro.{parts[0].removesuffix('.py')}" if parts else "other"
+
+
+def _profile_shares(num_records: int) -> List[Dict[str, Any]]:
+    """One profiled serial replay, grouped into subsystem time shares.
+
+    Shares are of *total* time (``tottime``: time inside the frame,
+    excluding callees) so they sum to ~1.0 across subsystems instead of
+    multiply-counting the call stack.
+    """
+    system, records = _fresh_system_and_records(num_records)
+    profiler = cProfile.Profile()
+    profiler.enable()
+    run_trace_concurrent(system, records)
+    profiler.disable()
+    stats = pstats.Stats(profiler)
+    totals: Dict[str, float] = {}
+    overall = 0.0
+    for (filename, _line, _name), row in stats.stats.items():  # type: ignore[attr-defined]
+        tottime = row[2]
+        totals[_subsystem_of(filename)] = (
+            totals.get(_subsystem_of(filename), 0.0) + tottime)
+        overall += tottime
+    if overall <= 0:
+        return []
+    shares = [{"subsystem": subsystem,
+               "seconds": round(seconds, 4),
+               "share": round(seconds / overall, 4)}
+              for subsystem, seconds in totals.items()]
+    shares.sort(key=lambda entry: (-entry["seconds"], entry["subsystem"]))
+    return shares
+
+
+def _timed_replay(num_records: int, queue_depth: int, channels: int,
+                  planes: int) -> Tuple[float, int]:
+    """Wall seconds and request count for one un-profiled replay."""
+    system, records = _fresh_system_and_records(num_records)
+    # Benchmarking the simulator's own speed is the one place wall
+    # clocks belong; simulated time stays inside the engines.
+    start = time.perf_counter()  # simlint: ignore[SIM001] -- host-side benchmark timing, not simulated time
+    report = run_trace_concurrent(system, records, queue_depth=queue_depth,
+                                  channels=channels, planes=planes)
+    elapsed = time.perf_counter() - start  # simlint: ignore[SIM001] -- host-side benchmark timing, not simulated time
+    return elapsed, report.requests
+
+
+def run_bench(num_records: int = 40_000) -> Dict[str, Any]:
+    """Run the benchmark suite; returns the JSON-ready result."""
+    modes = [
+        {"name": "serial", "queue_depth": 1, "channels": 1, "planes": 1},
+        {"name": "concurrent_qd16_ch4", "queue_depth": 16, "channels": 4,
+         "planes": 2},
+    ]
+    results = []
+    for mode in modes:
+        elapsed, requests = _timed_replay(num_records,
+                                          mode["queue_depth"],
+                                          mode["channels"], mode["planes"])
+        results.append({
+            **mode,
+            "wall_seconds": round(elapsed, 4),
+            "requests": requests,
+            "requests_per_sec": round(requests / elapsed, 1)
+            if elapsed > 0 else 0.0,
+        })
+    return {
+        "num_records": num_records,
+        "modes": results,
+        "profile_shares": _profile_shares(num_records),
+    }
+
+
+def run_bench_command(args: argparse.Namespace) -> int:
+    result = run_bench(num_records=args.num_records)
+    today = datetime.date.today().isoformat()  # simlint: ignore[SIM001] -- report filename stamp, not simulated time
+    out_path = args.out if args.out else f"BENCH_{today}.json"
+    result["date"] = today
+    atomic_write_text(out_path, json.dumps(result, indent=2) + "\n")
+    for mode in result["modes"]:
+        print(f"{mode['name']:<22} {mode['requests_per_sec']:>10.0f} "
+              f"req/s  ({mode['wall_seconds']:.2f} s for "
+              f"{mode['requests']} requests)")
+    print("profile shares (simulator wall time by subsystem)")
+    for entry in result["profile_shares"][:8]:
+        print(f"  {entry['subsystem']:<18} {entry['share']:>6.1%}")
+    print(f"benchmark JSON written to {out_path}")
+    return 0

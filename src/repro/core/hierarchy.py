@@ -25,13 +25,13 @@ miss rates of Figure 4.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..dram.model import DramModel
 from ..dram.page_cache import PrimaryDiskCache
 from ..disk.model import DiskModel
 from ..faults.injector import FaultConfig, FaultInjector
-from ..flash.device import FlashDevice
+from ..flash.device import DeviceOp, FlashDevice
 from ..flash.geometry import FlashGeometry
 from ..flash.timing import CellMode
 from ..flash.wear import CellLifetimeModel
@@ -48,6 +48,7 @@ from .controller import ControllerConfig, ProgrammableFlashController
 __all__ = [
     "SystemConfig",
     "RequestStats",
+    "PendingRequest",
     "DramOnlySystem",
     "FlashBackedSystem",
     "build_flash_system",
@@ -106,6 +107,40 @@ class RequestStats:
         return self.total_latency_us / self.requests if self.requests else 0.0
 
 
+@dataclass
+class PendingRequest:
+    """One submitted-but-not-completed request (non-blocking API).
+
+    ``submit_read``/``submit_write`` run the request's *functional* work
+    immediately (cache state must mutate in trace order for determinism)
+    and return this handle; the event engine owns the *timing*: it
+    stamps ``arrive_us``/``dispatch_us``/``finish_us`` while scheduling
+    ``ops`` on the channel/plane fabric, then closes the request with
+    :meth:`_SystemBase.complete_request`.
+    """
+
+    page: int
+    is_read: bool
+    #: Foreground storage latency the serial model charged (us).
+    service_us: float
+    #: NAND ops issued while servicing (foreground fills and any GC the
+    #: request triggered), in issue order.
+    ops: List[DeviceOp] = field(default_factory=list)
+    #: Background flash (GC) time this request generated.
+    gc_us: float = 0.0
+    #: Background time (flash fills, flushes) this request generated.
+    background_delta_us: float = 0.0
+    # -- stamped by the event engine ---------------------------------------
+    arrive_us: float = 0.0
+    dispatch_us: float = 0.0
+    finish_us: float = 0.0
+
+    @property
+    def queue_delay_us(self) -> float:
+        """Waiting time beyond the serial service latency."""
+        return max(self.finish_us - self.dispatch_us - self.service_us, 0.0)
+
+
 class _SystemBase:
     """Shared request-loop plumbing of both hierarchies."""
 
@@ -161,6 +196,57 @@ class _SystemBase:
             telemetry.request_write(latency, hit)
         self._tick_flush()
         return latency
+
+    # -- non-blocking entry points ---------------------------------------------
+
+    def _device(self) -> Optional[FlashDevice]:
+        """The NAND device whose ops the submit path captures (if any)."""
+        return None
+
+    def _gc_time_us(self) -> float:
+        """Cumulative background-GC flash time (0 without a flash tier)."""
+        return 0.0
+
+    def submit_read(self, page: int) -> PendingRequest:
+        """Non-blocking :meth:`read`: returns a :class:`PendingRequest`.
+
+        The functional work (cache state, stats, telemetry) happens now,
+        exactly as in :meth:`read`; the timing work — scheduling the
+        captured NAND ops, charging queue delay — belongs to the caller
+        (the event engine).
+        """
+        return self._submit(page, is_read=True)
+
+    def submit_write(self, page: int) -> PendingRequest:
+        """Non-blocking :meth:`write`; see :meth:`submit_read`."""
+        return self._submit(page, is_read=False)
+
+    def _submit(self, page: int, is_read: bool) -> PendingRequest:
+        device = self._device()
+        gc_before_us = self._gc_time_us()
+        background_before_us = self.background_us
+        ops: List[DeviceOp] = []
+        if device is not None:
+            with device.capture_ops(ops):
+                service_us = self.read(page) if is_read else self.write(page)
+        else:
+            service_us = self.read(page) if is_read else self.write(page)
+        return PendingRequest(
+            page=page,
+            is_read=is_read,
+            service_us=service_us,
+            ops=ops,
+            gc_us=self._gc_time_us() - gc_before_us,
+            background_delta_us=self.background_us - background_before_us,
+        )
+
+    def complete_request(self, pending: PendingRequest) -> float:
+        """Close out a submitted request once the engine stamped its
+        times; returns the response time (queueing + service, us)."""
+        if pending.finish_us < pending.dispatch_us:
+            raise ValueError("complete_request before the engine stamped "
+                             "dispatch/finish times")
+        return pending.finish_us - pending.dispatch_us
 
     def _tick_flush(self) -> None:
         self._requests_since_flush += 1
@@ -259,6 +345,12 @@ class FlashBackedSystem(_SystemBase):
 
     def _flash_busy_us(self) -> float:
         return self.flash.controller.device.stats.busy_us
+
+    def _device(self) -> Optional[FlashDevice]:
+        return self.flash.controller.device
+
+    def _gc_time_us(self) -> float:
+        return self.flash.stats.gc_time_us
 
     def _fill_from_below(self, page: int) -> float:
         outcome = self.flash.read(page)

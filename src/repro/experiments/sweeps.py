@@ -43,6 +43,7 @@ from . import (
     fig11_reconfig,
     fig12_lifetime,
     fig13_error_regimes,
+    fig14_concurrency,
 )
 from .report import ReportScale
 
@@ -184,6 +185,16 @@ def _fig13_combine(results: Sequence[SweepResult]) -> Any:
     return [asdict(row) for row in fig13_error_regimes.combine(results)]
 
 
+def _fig14_build(scale: ReportScale) -> List[SweepTask]:
+    return fig14_concurrency.tasks(
+        scale_divisor=scale.scale_divisor,
+        num_records=max(scale.trace_records // 3, 20_000))
+
+
+def _fig14_combine(results: Sequence[SweepResult]) -> Any:
+    return [asdict(row) for row in fig14_concurrency.combine(results)]
+
+
 SWEEPS: Dict[str, SweepSpec] = {
     "fig1b": SweepSpec("fig1b", "GC overhead vs occupancy",
                        _fig1b_build, _fig1b_combine),
@@ -204,6 +215,9 @@ SWEEPS: Dict[str, SweepSpec] = {
     "fig13": SweepSpec("fig13", "error-regime robustness (lifetime, "
                        "UBER, scrub traffic)",
                        _fig13_build, _fig13_combine),
+    "fig14": SweepSpec("fig14", "throughput and latency split vs "
+                       "queue depth x channels",
+                       _fig14_build, _fig14_combine),
 }
 
 

@@ -29,6 +29,7 @@ from .wear import (
     damage_per_cycle,
 )
 from .device import (
+    DeviceOp,
     FlashDevice,
     FlashDeviceError,
     FlashStats,
@@ -40,6 +41,7 @@ from .device import (
     EraseResult,
     MLC_READ_SENSITIVITY,
 )
+from .channels import ChannelConfig, NandScheduler, ScheduledOp
 
 __all__ = [
     "CellMode",
@@ -63,6 +65,7 @@ __all__ = [
     "PageFailureSampler",
     "mlc_damage_factor",
     "damage_per_cycle",
+    "DeviceOp",
     "FlashDevice",
     "FlashDeviceError",
     "FlashStats",
@@ -73,4 +76,7 @@ __all__ = [
     "ProgramResult",
     "EraseResult",
     "MLC_READ_SENSITIVITY",
+    "ChannelConfig",
+    "NandScheduler",
+    "ScheduledOp",
 ]

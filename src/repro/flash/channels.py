@@ -1,0 +1,123 @@
+"""Per-channel / per-plane NAND scheduling for the concurrent engine.
+
+Real Flash throughput comes from interleaving operations across
+independent channels and, within a channel, across planes (the DDR-NAND
+SSD literature the ISSUE cites).  The functional device model
+(:class:`repro.flash.device.FlashDevice`) executes operations serially
+— it is the *state* substrate — so concurrency lives here, in the
+timing domain: the concurrent engine replays each request's captured
+device operations against a bank of channel/plane resources and charges
+any resource wait as queue delay.
+
+Determinism: assignment is least-loaded with lowest-index tie-break —
+no hashes, no randomness — so a given op sequence always lands on the
+same resources in the same order.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Tuple
+
+__all__ = ["ChannelConfig", "ScheduledOp", "NandScheduler"]
+
+
+@dataclass(frozen=True)
+class ChannelConfig:
+    """Shape of the device's parallel fabric.
+
+    ``channels * planes`` is the number of NAND operations that can be
+    in flight at once; ``channels=1, planes=1`` reproduces the fully
+    serial device of the compatibility path.
+    """
+
+    channels: int = 1
+    planes: int = 1
+
+    def __post_init__(self) -> None:
+        if self.channels < 1:
+            raise ValueError("channels must be >= 1")
+        if self.planes < 1:
+            raise ValueError("planes must be >= 1")
+
+    @property
+    def resources(self) -> int:
+        return self.channels * self.planes
+
+
+@dataclass(frozen=True)
+class ScheduledOp:
+    """Placement of one NAND op on the fabric."""
+
+    channel: int
+    plane: int
+    start_us: float
+    end_us: float
+    #: Time the op sat waiting for its plane to free (0 when it started
+    #: immediately); the engine charges this to the request's queue delay.
+    wait_us: float
+
+
+class NandScheduler:
+    """Greedy least-loaded scheduler over ``channels x planes`` planes.
+
+    Each plane is a single server: it executes one NAND operation at a
+    time and frees at the op's end.  :meth:`schedule` places an op that
+    becomes *ready* at ``ready_us`` on the plane that frees earliest
+    (lowest plane index on ties — a deterministic total order), returning
+    the placement and the wait it incurred.  Busy time is accumulated
+    per channel for the utilization figures.
+    """
+
+    def __init__(self, config: ChannelConfig) -> None:
+        self.config = config
+        # free_at[channel * planes + plane]
+        self._free_at_us: List[float] = [0.0] * config.resources
+        self.channel_busy_us: List[float] = [0.0] * config.channels
+        self.ops_scheduled = 0
+
+    def _pick(self, ready_us: float) -> Tuple[int, float]:
+        """Plane index with the earliest availability (ties: lowest index)."""
+        best_index = 0
+        best_free_us = self._free_at_us[0]
+        for index in range(1, len(self._free_at_us)):
+            free_us = self._free_at_us[index]
+            if free_us < best_free_us:
+                best_free_us = free_us
+                best_index = index
+            if best_free_us <= ready_us:
+                # Nothing can start earlier than the ready time; the
+                # lowest such index wins, and we already scan in order.
+                break
+        return best_index, best_free_us
+
+    def schedule(self, ready_us: float, latency_us: float) -> ScheduledOp:
+        """Place one op; returns where it ran and how long it waited."""
+        if latency_us < 0:
+            raise ValueError("latency_us must be non-negative")
+        index, free_us = self._pick(ready_us)
+        start_us = ready_us if free_us <= ready_us else free_us
+        end_us = start_us + latency_us
+        self._free_at_us[index] = end_us
+        channel = index // self.config.planes
+        plane = index % self.config.planes
+        self.channel_busy_us[channel] += latency_us
+        self.ops_scheduled += 1
+        return ScheduledOp(channel=channel, plane=plane,
+                           start_us=start_us, end_us=end_us,
+                           wait_us=start_us - ready_us)
+
+    def horizon_us(self) -> float:
+        """Time at which the whole fabric falls idle."""
+        return max(self._free_at_us)
+
+    def utilization(self, span_us: float) -> List[float]:
+        """Per-channel busy fraction over a ``span_us`` window.
+
+        A channel with ``planes`` planes offers ``planes * span_us`` of
+        service time, so the fraction is normalised by both.
+        """
+        if span_us <= 0:
+            return [0.0] * self.config.channels
+        capacity_us = span_us * self.config.planes
+        return [busy_us / capacity_us for busy_us in self.channel_busy_us]

@@ -28,9 +28,10 @@ metadata-only for speed.
 
 from __future__ import annotations
 
+from contextlib import contextmanager
 from dataclasses import dataclass, field
 from random import Random
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, NamedTuple, Optional
 
 from ..faults.injector import FaultInjector
 from ..reliability.model import ReliabilityModel
@@ -55,9 +56,23 @@ __all__ = [
     "ProgramResult",
     "EraseResult",
     "FlashStats",
+    "DeviceOp",
     "FlashDevice",
     "MLC_READ_SENSITIVITY",
 ]
+
+
+class DeviceOp(NamedTuple):
+    """One captured NAND operation, as emitted by the device op sink.
+
+    The concurrent engine replays these against the channel/plane
+    scheduler (:mod:`repro.flash.channels`) to model device-level
+    parallelism the serial functional device cannot express.
+    """
+
+    kind: str          # "read" | "program" | "erase"
+    block: int
+    latency_us: float
 
 #: Effective-damage multiplier for MLC reads: MLC sensing margins are ~10x
 #: tighter, which is exactly the Table 1 endurance ratio (100k/10k).
@@ -85,10 +100,16 @@ class ProgramFailure(FlashDeviceError):
     full program latency, recorded in :attr:`latency_us`.
     """
 
+    #: NAND ops captured before the failure; attached by
+    #: :meth:`repro.core.controller.FlashCacheController.submit_program`
+    #: so the event engine can still charge the fabric for the attempt.
+    pending_ops: "List[DeviceOp]"
+
     def __init__(self, address: PageAddress, latency_us: float):
         super().__init__(f"program failed at {address}")
         self.address = address
         self.latency_us = latency_us
+        self.pending_ops = []
 
 
 class EraseFailure(FlashDeviceError):
@@ -250,11 +271,44 @@ class FlashDevice:
         #: (the default) keeps every operation on the historical code
         #: path; attaching costs one attribute check per operation.
         self.telemetry = None
+        #: Optional per-operation sink ``sink(kind, block, latency_us)``
+        #: invoked after every read/program/erase (including ones that
+        #: raise a status failure — the plane was occupied either way).
+        #: The concurrent engine attaches one to capture each request's
+        #: op stream for channel/plane scheduling; ``None`` (the
+        #: default) changes nothing.
+        self.op_sink = None
         self._rng = Random(seed)
         self._erase_counts: List[int] = [0] * geometry.num_blocks
         # Frames are created lazily: large devices in metadata-only runs
         # only materialise the blocks a workload actually touches.
         self._frames: Dict[tuple[int, int], _Frame] = {}
+
+    # -- non-blocking entry points ---------------------------------------------
+
+    @contextmanager
+    def capture_ops(self, into: List[DeviceOp]) -> Iterator[List[DeviceOp]]:
+        """Collect every NAND op issued inside the block into ``into``.
+
+        This is the device's submit-side hook: callers (controller and
+        hierarchy ``submit_*`` entry points) run the functional operation
+        under capture and hand the recorded op stream to the event
+        engine, which schedules it on channels/planes.  Nesting chains:
+        an outer capture still sees ops recorded by an inner one.
+        """
+        previous = self.op_sink
+        if previous is None:
+            def sink(kind: str, block: int, latency_us: float) -> None:
+                into.append(DeviceOp(kind, block, latency_us))
+        else:
+            def sink(kind: str, block: int, latency_us: float) -> None:
+                into.append(DeviceOp(kind, block, latency_us))
+                previous(kind, block, latency_us)
+        self.op_sink = sink
+        try:
+            yield into
+        finally:
+            self.op_sink = previous
 
     # -- frame bookkeeping ----------------------------------------------------
 
@@ -331,6 +385,9 @@ class FlashDevice:
         self.stats.reads += 1
         self.stats.record(latency, self.power.active_w, kind="read")
         self.clock_us += latency
+        sink = self.op_sink
+        if sink is not None:
+            sink("read", address.block, latency)
         # No telemetry hook here: nand.reads is harvested from
         # DeviceStats at end of run (Telemetry.harvest_cache_counters).
         errors = self._raw_bit_errors(frame)
@@ -387,6 +444,9 @@ class FlashDevice:
             self.stats.programs += 1
             self.stats.record(latency, self.power.active_w, kind="program")
             self.clock_us += latency
+            sink = self.op_sink
+            if sink is not None:
+                sink("program", address.block, latency)
             telemetry = self.telemetry
             if telemetry is not None:
                 telemetry.nand_fault("program")
@@ -397,6 +457,9 @@ class FlashDevice:
         self.stats.programs += 1
         self.stats.record(latency, self.power.active_w, kind="program")
         self.clock_us += latency
+        sink = self.op_sink
+        if sink is not None:
+            sink("program", address.block, latency)
         model = self.reliability
         if model is not None:
             model.note_program(address.block, address.frame, self.clock_us)
@@ -431,6 +494,9 @@ class FlashDevice:
             self.stats.erases += 1
             self.stats.record(latency, self.power.active_w, kind="erase")
             self.clock_us += latency
+            sink = self.op_sink
+            if sink is not None:
+                sink("erase", block, latency)
             telemetry = self.telemetry
             if telemetry is not None:
                 telemetry.nand_erase(latency)
@@ -454,6 +520,9 @@ class FlashDevice:
         self.stats.erases += 1
         self.stats.record(latency, self.power.active_w, kind="erase")
         self.clock_us += latency
+        sink = self.op_sink
+        if sink is not None:
+            sink("erase", block, latency)
         model = self.reliability
         if model is not None:
             model.note_erase(block, self.clock_us,

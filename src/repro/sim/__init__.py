@@ -1,7 +1,10 @@
-"""Simulation layer: platform config, trace engine, server model, aging."""
+"""Simulation layer: platform config, trace engines (serial and
+event-driven concurrent), server model, aging."""
 
 from .config import PlatformConfig, TABLE3_PLATFORM
-from .engine import SimulationReport, run_trace
+from .engine import QueueingStats, SimulationReport, run_trace
+from .events import Event, EventLoop, EventType
+from .concurrent import run_trace_concurrent
 from .server import ServerModel
 from .lifetime import (
     AgingConfig,
@@ -14,8 +17,13 @@ from .lifetime import (
 __all__ = [
     "PlatformConfig",
     "TABLE3_PLATFORM",
+    "QueueingStats",
     "SimulationReport",
     "run_trace",
+    "Event",
+    "EventLoop",
+    "EventType",
+    "run_trace_concurrent",
     "ServerModel",
     "AgingConfig",
     "AgingResult",

@@ -1,0 +1,240 @@
+"""Event-driven concurrent trace engine (DESIGN.md section 14).
+
+:func:`run_trace_concurrent` runs the same traces as
+:func:`repro.sim.engine.run_trace` but with many requests in flight: an
+outstanding-request window of ``queue_depth`` slots admits work
+open-loop (the trace never waits to *generate* requests — admission is
+gated only by the window), and each request's NAND operations are
+scheduled onto a ``channels x planes`` fabric
+(:class:`repro.flash.channels.NandScheduler`).  The report gains a
+:class:`~repro.sim.engine.QueueingStats` block splitting response time
+into service (what the serial model charges) and queue delay (window
+and channel/plane waits).
+
+Determinism and the compatibility path
+--------------------------------------
+
+State and timing are deliberately split:
+
+* **functional work is serial in trace order.**  ARRIVE handlers pull
+  requests from the trace in order and execute them immediately through
+  the hierarchy's non-blocking ``submit_read``/``submit_write`` entry
+  points — so cache contents, wear, faults, and every counter are
+  *identical at any queue depth or channel count* (and identical to the
+  serial engine).  Concurrency changes when work *finishes*, never what
+  work happens;
+* **timing is replayed on the event loop.**  The captured op stream is
+  placed on the channel/plane fabric; any wait is charged to the
+  request's queue delay, and its completion time is
+  ``dispatch + service + waits``.  Background work the request
+  generated (GC, scrub) occupies the fabric — delaying *other*
+  requests — but is not charged to its own response time, matching the
+  paper's "all GCs are performed in the background".
+
+At ``queue_depth=1, channels=1, planes=1`` there is nothing to overlap,
+so the call routes to the serial engine unchanged — every fig1b..fig13
+result is byte-identical by construction (asserted in
+``tests/test_events.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Iterable, Iterator, Optional, Tuple
+
+from ..core.hierarchy import DramOnlySystem, FlashBackedSystem, PendingRequest
+from ..flash.channels import ChannelConfig, NandScheduler
+from ..telemetry import LatencyHistogram, Telemetry, TraceSampler
+from ..workloads.trace import TraceRecord
+from .engine import QueueingStats, SimulationReport, run_trace, \
+    summarise_system
+from .events import Event, EventLoop, EventType
+from .server import ServerModel
+
+__all__ = ["run_trace_concurrent"]
+
+
+def _expand(records: Iterable[TraceRecord]) -> Iterator[Tuple[int, bool]]:
+    """Flatten records to (page, is_read) requests in trace order."""
+    for record in records:
+        for page in record.expand():
+            yield page, record.is_read
+
+
+class _ConcurrentEngine:
+    """One trace's worth of event-loop state (not reusable)."""
+
+    def __init__(self, system: DramOnlySystem | FlashBackedSystem,
+                 records: Iterable[TraceRecord],
+                 queue_depth: int, config: ChannelConfig,
+                 telemetry: Optional[Telemetry]) -> None:
+        self.system = system
+        self.source = _expand(records)
+        self.queue_depth = queue_depth
+        self.loop = EventLoop()
+        self.scheduler = NandScheduler(config)
+        self.queue_delay = LatencyHistogram("queue_delay_us")
+        self.service_latency = LatencyHistogram("service_latency_us")
+        self.telemetry = telemetry
+        self.sampler: Optional[TraceSampler] = None
+        self.position = system.stats.requests
+        self.in_flight = 0
+        self.channel_stalls = 0
+        self.gc_events = 0
+        self.scrub_events = 0
+        self._exhausted = False
+        self._last_scrub_passes = self._scrub_passes()
+        loop = self.loop
+        loop.register(EventType.ARRIVE, self._on_arrive)
+        loop.register(EventType.DISPATCH, self._on_dispatch)
+        loop.register(EventType.CHANNEL_BUSY, self._on_channel_busy)
+        loop.register(EventType.COMPLETE, self._on_complete)
+        loop.register(EventType.GC, self._on_gc)
+        loop.register(EventType.SCRUB, self._on_scrub)
+
+    def _scrub_passes(self) -> int:
+        scrubber = getattr(self.system, "scrubber", None)
+        return scrubber.stats.passes if scrubber is not None else 0
+
+    # -- event handlers (time comes from self.loop.now_us; SIM010) -----------
+
+    def _on_arrive(self, event: Event) -> None:
+        """Admit the next trace request into a freed window slot."""
+        try:
+            page, is_read = next(self.source)
+        except StopIteration:
+            self._exhausted = True
+            return
+        loop = self.loop
+        system = self.system
+        # Functional execution happens at admission, in trace order —
+        # the determinism anchor (see the module docstring).
+        if is_read:
+            pending = system.submit_read(page)
+        else:
+            pending = system.submit_write(page)
+        pending.arrive_us = loop.now_us
+        self.in_flight += 1
+        self.position += 1
+        sampler = self.sampler
+        if sampler is not None and self.position >= sampler.next_at:
+            sampler.maybe_sample(self.position)
+        if pending.gc_us > 0:
+            loop.post(0.0, Event(EventType.GC, pending.gc_us))
+        scrub_passes = self._scrub_passes()
+        if scrub_passes > self._last_scrub_passes:
+            self._last_scrub_passes = scrub_passes
+            loop.post(0.0, Event(EventType.SCRUB, pending.page))
+        # Host CPU/network time precedes storage dispatch (the same
+        # per-request constant the serial wall clock charges).
+        loop.post(system.config.cpu_us_per_request,
+                  Event(EventType.DISPATCH, pending))
+
+    def _on_dispatch(self, event: Event) -> None:
+        """Place the request's op stream on the channel/plane fabric."""
+        pending: PendingRequest = event.payload
+        loop = self.loop
+        pending.dispatch_us = loop.now_us
+        ready_us = loop.now_us
+        wait_us = 0.0
+        scheduler = self.scheduler
+        for op in pending.ops:
+            placed = scheduler.schedule(ready_us, op.latency_us)
+            if placed.wait_us > 0:
+                loop.post_at(placed.start_us,
+                             Event(EventType.CHANNEL_BUSY,
+                                   (placed.channel, placed.wait_us)))
+                wait_us += placed.wait_us
+            ready_us = placed.end_us
+        # Response = service as charged by the serial model, plus every
+        # wait the op chain suffered.  Background op *latency* (GC,
+        # scrub rewrites) occupies the fabric but is excluded from
+        # service, so it delays neighbours rather than this request.
+        finish_us = pending.dispatch_us + pending.service_us + wait_us
+        loop.post_at(finish_us, Event(EventType.COMPLETE, pending))
+
+    def _on_channel_busy(self, event: Event) -> None:
+        self.channel_stalls += 1
+
+    def _on_complete(self, event: Event) -> None:
+        pending: PendingRequest = event.payload
+        loop = self.loop
+        pending.finish_us = loop.now_us
+        self.system.complete_request(pending)
+        self.queue_delay.observe(pending.queue_delay_us)
+        self.service_latency.observe(pending.service_us)
+        self.in_flight -= 1
+        if not self._exhausted:
+            loop.post(0.0, Event(EventType.ARRIVE, None))
+
+    def _on_gc(self, event: Event) -> None:
+        self.gc_events += 1
+
+    def _on_scrub(self, event: Event) -> None:
+        self.scrub_events += 1
+
+    # -- driving ---------------------------------------------------------------
+
+    def run(self) -> float:
+        """Prime the window, drain the loop; returns the makespan (us)."""
+        for _ in range(self.queue_depth):
+            self.loop.post(0.0, Event(EventType.ARRIVE, None))
+        loop_end_us = self.loop.run()
+        horizon_us = self.scheduler.horizon_us()
+        return loop_end_us if loop_end_us >= horizon_us else horizon_us
+
+
+def run_trace_concurrent(system: DramOnlySystem | FlashBackedSystem,
+                         records: Iterable[TraceRecord],
+                         queue_depth: int = 1,
+                         channels: int = 1,
+                         planes: int = 1,
+                         drain: bool = True,
+                         telemetry: Optional[Telemetry] = None,
+                         server: Optional[ServerModel] = None
+                         ) -> SimulationReport:
+    """Run a trace through the event-driven concurrent engine.
+
+    ``queue_depth`` sizes the outstanding-request window, ``channels``
+    and ``planes`` size the NAND fabric.  The returned report's
+    ``wall_clock_us`` is the event-loop makespan and ``queueing``
+    carries the service/queue-delay split; every functional metric
+    (cache stats, wear, miss rates, average service latency) is
+    identical to the serial engine's at any setting.
+
+    ``queue_depth=1, channels=1, planes=1`` is the compatibility mode:
+    the call routes to :func:`~repro.sim.engine.run_trace` and the
+    result is byte-identical to the legacy serial path.
+    """
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be >= 1")
+    config = ChannelConfig(channels=channels, planes=planes)
+    if queue_depth == 1 and config.resources == 1:
+        return run_trace(system, records, drain=drain,
+                         telemetry=telemetry, server=server)
+    engine = _ConcurrentEngine(system, records, queue_depth, config,
+                               telemetry)
+    if telemetry is not None:
+        telemetry.attach(system)
+        engine.sampler = TraceSampler(telemetry, system,
+                                      interval=telemetry.sample_interval)
+    span_us = engine.run()
+    if engine.sampler is not None:
+        engine.sampler.finalize(engine.position)
+    requests = system.stats.requests
+    throughput_rps = requests / (span_us * 1e-6) if span_us > 0 else 0.0
+    queueing = QueueingStats(
+        queue_depth=queue_depth,
+        channels=channels,
+        planes=planes,
+        span_us=span_us,
+        queue_delay=engine.queue_delay,
+        service_latency=engine.service_latency,
+        channel_busy_us=list(engine.scheduler.channel_busy_us),
+        channel_stalls=engine.channel_stalls,
+        gc_events=engine.gc_events,
+        scrub_events=engine.scrub_events,
+    )
+    return summarise_system(system, drain=drain, telemetry=telemetry,
+                            server=server, wall_clock_us=span_us,
+                            throughput_rps=throughput_rps,
+                            queueing=queueing)

@@ -18,7 +18,7 @@ behaviour.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Dict, Iterable, Optional
+from typing import Dict, Iterable, List, Optional
 
 from ..core.cache import CacheStats
 from ..core.controller import ControllerStats
@@ -32,11 +32,60 @@ from ..telemetry.timeseries import TimeSeries
 from ..workloads.trace import TraceRecord
 from .server import ServerModel
 
-__all__ = ["SimulationReport", "run_trace"]
+__all__ = ["QueueingStats", "SimulationReport", "run_trace",
+           "summarise_system"]
 
 #: Response payload assumed when no :class:`ServerModel` is supplied;
 #: matches the model's own default.
 _DEFAULT_RESPONSE_BYTES = ServerModel.response_bytes
+
+
+@dataclass
+class QueueingStats:
+    """Concurrency accounting from the event engine (DESIGN.md 14).
+
+    Present on a report only when the trace ran through
+    :func:`repro.sim.concurrent.run_trace_concurrent`; splits every
+    request's response time into *service* (what the serial model
+    charges — the cache/device work itself) and *queue delay* (waiting
+    for a window slot or a busy NAND channel/plane), and carries the
+    channel-utilization view of the device fabric.
+    """
+
+    queue_depth: int
+    channels: int
+    planes: int
+    #: Event-loop makespan: admission of the first request to completion
+    #: of the last (us).
+    span_us: float
+    #: Per-request queue-delay distribution (us).
+    queue_delay: LatencyHistogram
+    #: Per-request service-latency distribution (us).
+    service_latency: LatencyHistogram
+    #: Busy time per NAND channel over the span (us).
+    channel_busy_us: List[float] = field(default_factory=list)
+    #: Ops that found their channel/plane occupied and stalled.
+    channel_stalls: int = 0
+    #: Background GC bursts observed by the loop.
+    gc_events: int = 0
+    #: Background scrub bursts observed by the loop.
+    scrub_events: int = 0
+
+    @property
+    def mean_queue_delay_us(self) -> float:
+        return self.queue_delay.mean
+
+    @property
+    def mean_service_us(self) -> float:
+        return self.service_latency.mean
+
+    def channel_utilization(self) -> List[float]:
+        """Per-channel busy fraction of the span (a channel with
+        ``planes`` planes offers ``planes * span_us`` of service)."""
+        if self.span_us <= 0:
+            return [0.0] * len(self.channel_busy_us)
+        capacity_us = self.span_us * self.planes
+        return [busy_us / capacity_us for busy_us in self.channel_busy_us]
 
 
 @dataclass
@@ -79,6 +128,11 @@ class SimulationReport:
     #: Windowed time-series keyed by name (``flash_miss_rate``,
     #: ``live_capacity``, ``wear_max`` ...).
     timeseries: Optional[Dict[str, TimeSeries]] = None
+    # -- concurrency (present only for event-engine runs) --------------------
+    #: Queue-delay/service split and channel utilization from
+    #: :func:`repro.sim.concurrent.run_trace_concurrent`; ``None`` for
+    #: the serial engine (no queueing exists at depth 1).
+    queueing: Optional[QueueingStats] = None
 
     @property
     def flash_miss_rate(self) -> float:
@@ -122,6 +176,42 @@ class SimulationReport:
     @property
     def write_latency_p99(self) -> Optional[float]:
         return self._latency_percentile(self.write_latency, 99.0)
+
+    # -- queueing percentiles (None without the event engine) -----------------
+
+    def _queueing_histogram(self, name: str) -> Optional[LatencyHistogram]:
+        queueing = self.queueing
+        return getattr(queueing, name) if queueing is not None else None
+
+    @property
+    def queue_delay_p50(self) -> Optional[float]:
+        return self._latency_percentile(
+            self._queueing_histogram("queue_delay"), 50.0)
+
+    @property
+    def queue_delay_p95(self) -> Optional[float]:
+        return self._latency_percentile(
+            self._queueing_histogram("queue_delay"), 95.0)
+
+    @property
+    def queue_delay_p99(self) -> Optional[float]:
+        return self._latency_percentile(
+            self._queueing_histogram("queue_delay"), 99.0)
+
+    @property
+    def service_latency_p50(self) -> Optional[float]:
+        return self._latency_percentile(
+            self._queueing_histogram("service_latency"), 50.0)
+
+    @property
+    def service_latency_p95(self) -> Optional[float]:
+        return self._latency_percentile(
+            self._queueing_histogram("service_latency"), 95.0)
+
+    @property
+    def service_latency_p99(self) -> Optional[float]:
+        return self._latency_percentile(
+            self._queueing_histogram("service_latency"), 99.0)
 
 
 def run_trace(system: DramOnlySystem | FlashBackedSystem,
@@ -171,6 +261,25 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
         # Close every series with the end-of-trace state so a short trace
         # still yields at least one point per signal.
         sampler.finalize(processed)
+    return summarise_system(system, drain=drain, telemetry=telemetry,
+                            server=server)
+
+
+def summarise_system(system: DramOnlySystem | FlashBackedSystem,
+                     drain: bool = True,
+                     telemetry: Optional[Telemetry] = None,
+                     server: Optional[ServerModel] = None,
+                     wall_clock_us: Optional[float] = None,
+                     throughput_rps: Optional[float] = None,
+                     queueing: Optional[QueueingStats] = None
+                     ) -> SimulationReport:
+    """Drain a finished system and package it as a report.
+
+    Shared tail of :func:`run_trace` and the event engine
+    (:func:`repro.sim.concurrent.run_trace_concurrent`): the latter
+    overrides ``wall_clock_us``/``throughput_rps`` with its event-loop
+    makespan and attaches the :class:`QueueingStats` split.
+    """
     flash_stats = None
     controller_stats = None
     fault_stats = None
@@ -205,8 +314,10 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
         reads=system.stats.reads,
         writes=system.stats.writes,
         average_latency_us=system.stats.average_latency_us,
-        wall_clock_us=system.wall_clock_us,
-        throughput_rps=system.throughput_rps(),
+        wall_clock_us=(wall_clock_us if wall_clock_us is not None
+                       else system.wall_clock_us),
+        throughput_rps=(throughput_rps if throughput_rps is not None
+                        else system.throughput_rps()),
         pdc=system.pdc.stats,
         power=system_power_breakdown(system),
         flash=flash_stats,
@@ -226,4 +337,5 @@ def run_trace(system: DramOnlySystem | FlashBackedSystem,
                        if telemetry is not None else None),
         timeseries=(telemetry.timeseries
                     if telemetry is not None else None),
+        queueing=queueing,
     )

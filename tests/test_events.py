@@ -1,0 +1,255 @@
+"""Event-loop subsystem tests: determinism, NAND scheduling, op
+capture, compat-mode byte-identity, and fig14 invariances."""
+
+from __future__ import annotations
+
+from dataclasses import asdict
+
+import pytest
+
+from repro.core.hierarchy import build_flash_system
+from repro.experiments import fig14_concurrency
+from repro.flash.channels import ChannelConfig, NandScheduler
+from repro.flash.device import FlashDevice
+from repro.flash.geometry import PageAddress
+from repro.parallel import sweep
+from repro.sim.concurrent import run_trace_concurrent
+from repro.sim.engine import run_trace
+from repro.sim.events import Event, EventLoop, EventType
+from repro.workloads.macro import build_workload
+
+
+class TestEventLoop:
+    def test_orders_by_time(self):
+        loop = EventLoop()
+        seen = []
+        loop.register(EventType.ARRIVE, lambda e: seen.append(e.payload))
+        loop.post(5.0, Event(EventType.ARRIVE, "late"))
+        loop.post(1.0, Event(EventType.ARRIVE, "early"))
+        loop.run()
+        assert seen == ["early", "late"]
+
+    def test_ties_break_in_post_order(self):
+        loop = EventLoop()
+        seen = []
+        loop.register(EventType.ARRIVE, lambda e: seen.append(e.payload))
+        for i in range(20):
+            loop.post(3.0, Event(EventType.ARRIVE, i))
+        loop.run()
+        assert seen == list(range(20))
+
+    def test_now_advances_only_on_pop(self):
+        loop = EventLoop()
+        times = []
+        loop.register(EventType.ARRIVE, lambda e: times.append(loop.now_us))
+        loop.post(2.0, Event(EventType.ARRIVE, None))
+        loop.post(7.0, Event(EventType.ARRIVE, None))
+        assert loop.now_us == 0.0
+        end = loop.run()
+        assert times == [2.0, 7.0]
+        assert end == 7.0
+
+    def test_posting_into_the_past_raises(self):
+        loop = EventLoop()
+        loop.register(EventType.ARRIVE, lambda e: None)
+        loop.post(5.0, Event(EventType.ARRIVE, None))
+        while loop.step() is not None:
+            pass
+        with pytest.raises(ValueError):
+            loop.post_at(1.0, Event(EventType.ARRIVE, None))
+        with pytest.raises(ValueError):
+            loop.post(-1.0, Event(EventType.ARRIVE, None))
+
+    def test_duplicate_registration_rejected(self):
+        loop = EventLoop()
+        loop.register(EventType.GC, lambda e: None)
+        with pytest.raises(ValueError):
+            loop.register(EventType.GC, lambda e: None)
+
+    def test_unhandled_event_type_raises(self):
+        loop = EventLoop()
+        loop.post(0.0, Event(EventType.SCRUB, None))
+        with pytest.raises(KeyError):
+            loop.run()
+
+    def test_dispatch_counts(self):
+        loop = EventLoop()
+        loop.register(EventType.ARRIVE, lambda e: None)
+        loop.register(EventType.COMPLETE, lambda e: None)
+        loop.post(0.0, Event(EventType.ARRIVE, None))
+        loop.post(1.0, Event(EventType.ARRIVE, None))
+        loop.post(2.0, Event(EventType.COMPLETE, None))
+        loop.run()
+        assert loop.dispatched[EventType.ARRIVE] == 2
+        assert loop.dispatched[EventType.COMPLETE] == 1
+
+
+class TestNandScheduler:
+    def test_serial_fabric_is_a_single_queue(self):
+        sched = NandScheduler(ChannelConfig(channels=1, planes=1))
+        first = sched.schedule(0.0, 100.0)
+        second = sched.schedule(0.0, 50.0)
+        assert first.wait_us == 0.0
+        assert second.start_us == 100.0 and second.wait_us == 100.0
+
+    def test_least_loaded_lowest_index(self):
+        sched = NandScheduler(ChannelConfig(channels=2, planes=1))
+        a = sched.schedule(0.0, 100.0)
+        b = sched.schedule(0.0, 100.0)
+        assert (a.channel, b.channel) == (0, 1)
+        assert b.wait_us == 0.0
+        c = sched.schedule(10.0, 10.0)  # both busy until 100
+        assert c.channel == 0 and c.start_us == 100.0
+
+    def test_plane_indexing(self):
+        sched = NandScheduler(ChannelConfig(channels=2, planes=2))
+        placements = [sched.schedule(0.0, 10.0) for _ in range(4)]
+        assert [(p.channel, p.plane) for p in placements] == [
+            (0, 0), (0, 1), (1, 0), (1, 1)]
+
+    def test_utilization_bounded_by_one(self):
+        sched = NandScheduler(ChannelConfig(channels=1, planes=2))
+        for _ in range(10):
+            sched.schedule(0.0, 100.0)
+        span = sched.horizon_us()
+        assert span == 500.0
+        (util,) = sched.utilization(span)
+        assert util == pytest.approx(1.0)
+
+    def test_rejects_negative_latency(self):
+        sched = NandScheduler(ChannelConfig())
+        with pytest.raises(ValueError):
+            sched.schedule(0.0, -1.0)
+
+
+class TestOpCapture:
+    def test_capture_reads_programs_erases(self):
+        device = FlashDevice()
+        first = PageAddress(block=0, frame=0)
+        second = PageAddress(block=0, frame=1)
+        device.program_page(first)
+        ops = []
+        with device.capture_ops(ops):
+            device.read_page(first)
+            device.program_page(second)
+        kinds = [op.kind for op in ops]
+        assert kinds == ["read", "program"]
+        assert all(op.latency_us > 0 for op in ops)
+        # outside the context nothing is captured
+        device.read_page(first)
+        assert len(ops) == 2
+
+    def test_nested_capture_forwards_to_outer(self):
+        device = FlashDevice()
+        address = PageAddress(block=0, frame=0)
+        device.program_page(address)
+        outer, inner = [], []
+        with device.capture_ops(outer):
+            device.read_page(address)
+            with device.capture_ops(inner):
+                device.read_page(address)
+        assert len(inner) == 1
+        assert len(outer) == 2
+
+
+class TestHierarchySubmit:
+    def test_submit_matches_serial_latency(self):
+        system = build_flash_system(dram_bytes=1 << 20,
+                                    flash_bytes=4 << 20)
+        pending = system.submit_read(1234)
+        assert pending.page == 1234 and pending.is_read
+        assert pending.service_us > 0
+        pending.dispatch_us = 10.0
+        pending.finish_us = 10.0 + pending.service_us
+        assert system.complete_request(pending) == pytest.approx(
+            pending.service_us)
+        assert pending.queue_delay_us == 0.0
+
+    def test_complete_before_dispatch_rejected(self):
+        system = build_flash_system(dram_bytes=1 << 20,
+                                    flash_bytes=4 << 20)
+        pending = system.submit_write(1)
+        pending.dispatch_us = 5.0
+        pending.finish_us = 1.0
+        with pytest.raises(ValueError):
+            system.complete_request(pending)
+
+
+def _system():
+    return build_flash_system(dram_bytes=2 << 20, flash_bytes=8 << 20)
+
+
+def _trace(workload="specweb99", n=3000, seed=21):
+    return build_workload(workload, num_records=n, footprint_pages=8192,
+                          seed=seed)
+
+
+class TestCompatMode:
+    """queue_depth=1, channels=1, planes=1 is byte-identical to the
+    legacy serial engine (the fig1b..fig13 guarantee)."""
+
+    @pytest.mark.parametrize("workload", ["specweb99", "dbt2"])
+    def test_byte_identical_report(self, workload):
+        serial = run_trace(_system(), _trace(workload))
+        compat = run_trace_concurrent(_system(), _trace(workload),
+                                      queue_depth=1, channels=1, planes=1)
+        assert asdict(serial) == asdict(compat)
+        assert compat.queueing is None
+
+    def test_functional_metrics_invariant_under_concurrency(self):
+        serial = run_trace(_system(), _trace())
+        concurrent = run_trace_concurrent(_system(), _trace(),
+                                          queue_depth=8, channels=2,
+                                          planes=2)
+        assert concurrent.queueing is not None
+        for field in ("requests", "reads", "writes",
+                      "average_latency_us", "disk_reads", "disk_writes",
+                      "flash_miss_rate", "flash_live_capacity"):
+            assert getattr(concurrent, field) == getattr(serial, field)
+        assert asdict(serial.pdc) == asdict(concurrent.pdc)
+        assert asdict(serial.flash) == asdict(concurrent.flash)
+        # concurrency compresses the makespan
+        assert concurrent.wall_clock_us < serial.wall_clock_us
+        assert concurrent.throughput_rps > serial.throughput_rps
+
+    def test_bad_queue_depth_rejected(self):
+        with pytest.raises(ValueError):
+            run_trace_concurrent(_system(), _trace(n=10), queue_depth=0)
+
+
+def _fig14_grid():
+    return fig14_concurrency.tasks(queue_depths=(1, 4, 8),
+                                   channel_counts=(1, 2),
+                                   scale_divisor=256, num_records=4000)
+
+
+class TestFig14:
+    def test_worker_count_invariance(self):
+        rows_one = fig14_concurrency.combine(sweep(_fig14_grid(),
+                                                   workers=1))
+        rows_two = fig14_concurrency.combine(sweep(_fig14_grid(),
+                                                   workers=2))
+        assert ([asdict(row) for row in rows_one]
+                == [asdict(row) for row in rows_two])
+
+    def test_throughput_monotone_on_both_axes(self):
+        rows = fig14_concurrency.combine(sweep(_fig14_grid(), workers=2))
+        cells = {(r.queue_depth, r.channels): r.throughput_rps
+                 for r in rows}
+        for depths, channels in (((1, 4, 8), (1, 2)),):
+            for ch in channels:
+                series = [cells[(qd, ch)] for qd in depths]
+                assert series == sorted(series)
+            for qd in depths:
+                series = [cells[(qd, ch)] for ch in channels]
+                assert series == sorted(series)
+
+    def test_latency_split_reported(self):
+        rows = fig14_concurrency.combine(sweep(_fig14_grid(), workers=1))
+        deep = next(r for r in rows
+                    if r.queue_depth == 8 and r.channels == 1)
+        assert deep.service_p99_us > 0
+        assert deep.queue_delay_p99_us >= deep.queue_delay_p50_us
+        assert all(0.0 <= u <= 1.0 + 1e-9
+                   for u in deep.channel_utilization)
+        assert deep.speedup > 1.0
