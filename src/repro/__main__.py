@@ -4,8 +4,13 @@ Commands
 --------
 
 ``experiments``            list the available figure runners
-``fig1b`` .. ``fig12``     print one figure's rows (same output as the
+``fig1b`` .. ``fig15``     print one figure's rows (same output as the
                            ``repro.experiments.*`` module mains)
+``cluster``                serve one sharded cluster scenario: open-loop
+                           traffic, consistent-hash routing, admission
+                           shedding, scripted/organic failover, and a
+                           deterministic JSONL/CSV telemetry feed
+                           (``--feed``, ``--csv``, ``--json``)
 ``faults``                 fault-injection / graceful-degradation sweep
                            (``--telemetry-out`` dumps the degradation
                            timeline as JSON)
@@ -49,6 +54,7 @@ from .experiments import (
     fig12_lifetime,
     fig13_error_regimes,
     fig14_concurrency,
+    fig15_cluster,
 )
 from .experiments.report import ReportScale, generate_report
 from .workloads.analysis import profile_trace
@@ -65,6 +71,7 @@ _FIGURES = {
     "fig12": fig12_lifetime.main,
     "fig13": fig13_error_regimes.main,
     "fig14": fig14_concurrency.main,
+    "fig15": fig15_cluster.main,
     "faults": fault_degradation.main,
 }
 
@@ -219,6 +226,76 @@ def _build_parser() -> argparse.ArgumentParser:
     stats.add_argument("--csv", default=None, metavar="PATH",
                        help="write time-series + histogram buckets as CSV")
 
+    cluster = sub.add_parser(
+        "cluster", help="serve a sharded Flash-cache cluster scenario "
+                        "with open-loop traffic and failover")
+    cluster.add_argument("--shards", type=int, default=3,
+                         help="shard fleet size (default 3)")
+    cluster.add_argument("--pattern", default="steady",
+                         choices=("steady", "diurnal", "flash_crowd",
+                                  "drain"),
+                         help="arrival-intensity profile (default steady)")
+    cluster.add_argument("--rate", type=float, default=4000.0,
+                         metavar="RPS",
+                         help="peak cluster-wide arrival rate "
+                              "(default 4000 req/s)")
+    cluster.add_argument("--duration", type=float, default=1.0,
+                         metavar="S",
+                         help="simulated traffic window (default 1.0 s)")
+    cluster.add_argument("--workload", default="specweb99",
+                         help="key-popularity model behind the arrivals "
+                              "(default specweb99)")
+    cluster.add_argument("--footprint-pages", type=int, default=16384,
+                         help="distinct pages in the key space "
+                              "(default 16384)")
+    cluster.add_argument("--queue-depth", type=int, default=8,
+                         help="per-shard outstanding-request window "
+                              "(default 8)")
+    cluster.add_argument("--channels", type=int, default=2,
+                         help="NAND channels per shard (default 2)")
+    cluster.add_argument("--planes", type=int, default=2,
+                         help="planes per channel (default 2)")
+    cluster.add_argument("--shed-queue", type=int, default=64,
+                         help="host wait-queue length beyond the window "
+                              "before requests shed (default 64)")
+    cluster.add_argument("--kill-shard", type=int, default=None,
+                         metavar="ID",
+                         help="kill this shard mid-run (in-flight "
+                              "requests are lost, traffic re-routes)")
+    cluster.add_argument("--kill-at-ms", type=float, default=None,
+                         help="kill instant in simulated ms (default: "
+                              "mid-run)")
+    cluster.add_argument("--aged-shard", type=int, default=None,
+                         metavar="ID",
+                         help="attach the fault/reliability ladder to "
+                              "this shard; it retires organically if "
+                              "graceful degradation trips")
+    cluster.add_argument("--aged-fault-rate", type=float, default=0.0,
+                         help="uniform fault-injection rate on the aged "
+                              "shard (0 disables)")
+    cluster.add_argument("--aged-reliability-rate", type=float,
+                         default=0.0,
+                         help="base raw bit error rate on the aged "
+                              "shard (0 disables)")
+    cluster.add_argument("--bucket-ms", type=float, default=50.0,
+                         help="feed time-bucket width (default 50 ms)")
+    cluster.add_argument("--workers", type=int, default=1,
+                         help="process-pool size for the shard fan-out "
+                              "(default 1 = serial; results are "
+                              "byte-identical at any worker count)")
+    cluster.add_argument("--seed", type=int, default=42,
+                         help="root seed of every derived RNG stream "
+                              "(default 42)")
+    cluster.add_argument("--feed", default=None, metavar="PATH",
+                         help="write the JSONL telemetry feed here")
+    cluster.add_argument("--csv", default=None, metavar="PATH",
+                         help="write the time-bucketed feed rows as CSV")
+    cluster.add_argument("--json", default=None, metavar="PATH",
+                         help="write the aggregated result document as "
+                              "JSON")
+    cluster.add_argument("--quiet", action="store_true",
+                         help="suppress live orchestration events")
+
     bench = sub.add_parser(
         "bench", help="benchmark the simulator itself: requests/sec and "
                       "per-subsystem profile shares, written to "
@@ -228,7 +305,12 @@ def _build_parser() -> argparse.ArgumentParser:
                             "(default 40000)")
     bench.add_argument("--out", default=None, metavar="PATH",
                        help="output path (default BENCH_<date>.json in "
-                            "the current directory)")
+                            "the current directory); same-day reruns "
+                            "append to the file's runs list")
+    bench.add_argument("--force", action="store_true",
+                       help="start the output file fresh, discarding "
+                            "existing runs (also required to replace a "
+                            "file that is not a bench document)")
     return parser
 
 
@@ -252,6 +334,8 @@ def main(argv: list[str] | None = None) -> int:
         return 0
     if args.command == "sweep":
         return _sweep_command(args)
+    if args.command == "cluster":
+        return _cluster_command(args)
     if args.command == "lint":
         from .analysis.cli import run_lint_command
         return run_lint_command(args)
@@ -323,6 +407,83 @@ def _sweep_command(args: argparse.Namespace) -> int:
         print(payload)
     errors = document["meta"]["errors"]
     return 1 if errors else 0
+
+
+def _cluster_command(args: argparse.Namespace) -> int:
+    import json
+
+    from .cluster import (
+        ClusterScenario,
+        serve,
+        write_feed_csv,
+        write_feed_jsonl,
+    )
+
+    try:
+        scenario = ClusterScenario(
+            shards=args.shards, pattern=args.pattern, rate_rps=args.rate,
+            duration_s=args.duration, workload=args.workload,
+            footprint_pages=args.footprint_pages,
+            queue_depth=args.queue_depth, channels=args.channels,
+            planes=args.planes, shed_queue=args.shed_queue,
+            kill_shard=args.kill_shard,
+            kill_at_us=(args.kill_at_ms * 1000.0
+                        if args.kill_at_ms is not None else None),
+            aged_shard=args.aged_shard,
+            aged_fault_rate=args.aged_fault_rate,
+            aged_reliability_rate=args.aged_reliability_rate,
+            bucket_ms=args.bucket_ms, seed=args.seed)
+        on_event = None
+        if not args.quiet:
+            def on_event(event):
+                if event["kind"] == "stage":
+                    shards = ",".join(str(s) for s in event["shards"])
+                    print(f"stage {event['stage']}: shards [{shards}]",
+                          file=sys.stderr)
+                else:
+                    status = "ok" if event["ok"] else "FAILED"
+                    print(f"[{event['done']}/{event['total']}] "
+                          f"{event['key']}: {status}", file=sys.stderr)
+        result = serve(scenario, workers=args.workers, on_event=on_event)
+    except (KeyError, ValueError, RuntimeError) as exc:
+        print(f"error: {exc}", file=sys.stderr)
+        return 2
+
+    print(f"arrivals:        {result.arrivals}")
+    print(f"completed:       {result.completed}")
+    print(f"shed:            {result.shed} "
+          f"({result.shed_fraction:.3%})")
+    print(f"lost:            {result.lost}")
+    print(f"redirected:      {result.redirected}")
+    print(f"span:            {result.span_us / 1000.0:.1f} ms")
+    print(f"throughput:      {result.throughput_rps:.0f} req/s")
+    print(f"response us:     p50={result.response.p50:.1f} "
+          f"p95={result.response.p95:.1f} p99={result.response.p99:.1f}")
+    print(f"queue delay us:  mean={result.queue_delay.mean:.1f} "
+          f"p99={result.queue_delay.p99:.1f}")
+    for shard in result.shards:
+        retired = (f" retired@{shard['retired_at_us'] / 1000.0:.0f}ms"
+                   if shard["retired_at_us"] is not None else "")
+        print(f"  shard {shard['shard_id']}: "
+              f"{shard['completed']}/{shard['arrivals']} served, "
+              f"{shard['shed']} shed, {shard['lost']} lost, "
+              f"{shard['redirected']} redirected, "
+              f"p99={shard['response_p99_us']:.1f}us, "
+              f"miss={shard['flash_miss_rate']:.3f}{retired}")
+    if args.feed is not None:
+        write_feed_jsonl(result, args.feed)
+        print(f"feed JSONL:      {args.feed}")
+    if args.csv is not None:
+        write_feed_csv(result, args.csv)
+        print(f"feed CSV:        {args.csv}")
+    if args.json is not None:
+        from .atomicio import atomic_write_text
+
+        atomic_write_text(args.json,
+                          json.dumps(result.as_dict(), indent=2,
+                                     sort_keys=True) + "\n")
+        print(f"result JSON:     {args.json}")
+    return 0
 
 
 def _build_system_and_records(args: argparse.Namespace):

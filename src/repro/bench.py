@@ -7,6 +7,14 @@ per-subsystem breakdown of where that wall time goes, from a
 written to ``BENCH_<date>.json`` so successive PRs can diff simulator
 performance the way they diff figure outputs.
 
+``BENCH_<date>.json`` holds *every* run of that day — a
+``{"format": "repro-bench", "date": ..., "runs": [...]}`` document that
+same-day reruns append to rather than clobber, each run stamped with
+the git commit it measured (so a before/after optimisation pair
+survives in one file).  A legacy single-run file from before this
+format is migrated into the first entry of the list; a file that is
+neither is refused unless ``--force`` discards it.
+
 The benchmark workload itself is deterministic (fixed seed, fixed
 record count); only the wall-clock numbers vary run to run.
 """
@@ -17,18 +25,24 @@ import argparse
 import cProfile
 import datetime
 import json
+import os
 import pstats
+import subprocess
 import time
-from typing import Any, Dict, List, Tuple
+from typing import Any, Dict, List, Optional, Tuple
 
 from .atomicio import atomic_write_text
 from .core.hierarchy import build_flash_system
 from .sim.concurrent import run_trace_concurrent
 from .workloads.macro import build_workload
 
-__all__ = ["run_bench", "run_bench_command"]
+__all__ = ["run_bench", "run_bench_command", "load_bench_document",
+           "BENCH_FORMAT"]
 
 _SRC_MARKER = "/repro/"
+
+#: Format tag of the runs-list document in ``BENCH_<date>.json``.
+BENCH_FORMAT = "repro-bench"
 
 
 def _fresh_system_and_records(num_records: int):
@@ -115,12 +129,71 @@ def run_bench(num_records: int = 40_000) -> Dict[str, Any]:
     }
 
 
+def _git_commit() -> Optional[str]:
+    """The commit being benchmarked, or None outside a git checkout."""
+    try:
+        proc = subprocess.run(
+            ["git", "rev-parse", "--short", "HEAD"],
+            cwd=os.path.dirname(os.path.abspath(__file__)),
+            capture_output=True, text=True, timeout=10)
+    except (OSError, subprocess.TimeoutExpired):
+        return None
+    if proc.returncode != 0:
+        return None
+    return proc.stdout.strip() or None
+
+
+def load_bench_document(path: str) -> Dict[str, Any]:
+    """Parse an existing bench file into the runs-list document.
+
+    Accepts the current ``{"format": "repro-bench", "runs": [...]}``
+    shape and the legacy single-run shape (migrated into a one-entry
+    ``runs`` list).  Anything else — unparseable bytes, JSON that is not
+    a bench document — raises ``ValueError`` so a rerun cannot quietly
+    destroy a file it does not understand.
+    """
+    with open(path, "r", encoding="utf-8") as handle:
+        try:
+            document = json.load(handle)
+        except json.JSONDecodeError as exc:
+            raise ValueError(f"{path} is not valid JSON ({exc}); "
+                             "refusing to overwrite it") from exc
+    if not isinstance(document, dict):
+        raise ValueError(f"{path} is not a bench document; "
+                         "refusing to overwrite it")
+    if document.get("format") == BENCH_FORMAT:
+        runs = document.get("runs")
+        if not isinstance(runs, list):
+            raise ValueError(f"{path} claims format {BENCH_FORMAT!r} "
+                             "but has no runs list")
+        return document
+    if "modes" in document and "num_records" in document:
+        # Legacy layout: the whole file was one run.
+        legacy = dict(document)
+        date = legacy.pop("date", None)
+        return {"format": BENCH_FORMAT, "date": date, "runs": [legacy]}
+    raise ValueError(f"{path} is not a bench document; "
+                     "refusing to overwrite it")
+
+
 def run_bench_command(args: argparse.Namespace) -> int:
     result = run_bench(num_records=args.num_records)
     today = datetime.date.today().isoformat()  # simlint: ignore[SIM001] -- report filename stamp, not simulated time
     out_path = args.out if args.out else f"BENCH_{today}.json"
-    result["date"] = today
-    atomic_write_text(out_path, json.dumps(result, indent=2) + "\n")
+    result["git_commit"] = _git_commit()
+    document: Dict[str, Any] = {"format": BENCH_FORMAT, "date": today,
+                                "runs": []}
+    force = getattr(args, "force", False)
+    if os.path.exists(out_path) and not force:
+        try:
+            document = load_bench_document(out_path)
+        except ValueError as exc:
+            print(f"error: {exc} (pass --force to start the file fresh)")
+            return 2
+        document["date"] = document.get("date") or today
+    document["runs"].append(result)
+    atomic_write_text(out_path,
+                      json.dumps(document, indent=2) + "\n")
     for mode in result["modes"]:
         print(f"{mode['name']:<22} {mode['requests_per_sec']:>10.0f} "
               f"req/s  ({mode['wall_seconds']:.2f} s for "
@@ -128,5 +201,8 @@ def run_bench_command(args: argparse.Namespace) -> int:
     print("profile shares (simulator wall time by subsystem)")
     for entry in result["profile_shares"][:8]:
         print(f"  {entry['subsystem']:<18} {entry['share']:>6.1%}")
-    print(f"benchmark JSON written to {out_path}")
+    commit = result["git_commit"] or "unknown"
+    print(f"benchmark JSON written to {out_path} "
+          f"(run {len(document['runs'])} of {document['date']}, "
+          f"commit {commit})")
     return 0

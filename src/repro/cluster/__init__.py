@@ -1,0 +1,46 @@
+"""``repro.cluster`` — a sharded Flash-cache service (DESIGN.md §15).
+
+The paper's headline results are server-level; the ROADMAP's north star
+is "heavy traffic from millions of users".  This package scales the
+single-node hierarchy out: a consistent-hash front-end routes open-loop
+traffic across N simulated Flash-cache shards (one process per shard via
+the parallel runner), with queue-depth admission control and
+degraded-shard failover reusing the fault-injection and reliability
+models.
+
+Layers:
+
+* :mod:`~repro.cluster.arrivals` — open-loop traffic plans (steady,
+  diurnal, flash crowd, drain);
+* :mod:`~repro.cluster.ring`     — SHA-256 consistent-hash routing;
+* :mod:`~repro.cluster.shard`    — the per-shard open-loop engine with
+  shedding and retirement;
+* :mod:`~repro.cluster.cluster`  — two-stage failover orchestration and
+  aggregation (:func:`run_cluster`);
+* :mod:`~repro.cluster.feed`     — deterministic JSONL/CSV telemetry
+  feeds;
+* :mod:`~repro.cluster.service`  — the asyncio serving shell with live
+  progress events.
+"""
+
+from .arrivals import ARRIVAL_PATTERNS, build_arrivals
+from .cluster import ClusterResult, ClusterScenario, run_cluster
+from .feed import feed_lines, write_feed_csv, write_feed_jsonl
+from .ring import HashRing
+from .service import ClusterService, serve
+from .shard import run_shard
+
+__all__ = [
+    "ARRIVAL_PATTERNS",
+    "build_arrivals",
+    "ClusterResult",
+    "ClusterScenario",
+    "run_cluster",
+    "feed_lines",
+    "write_feed_csv",
+    "write_feed_jsonl",
+    "HashRing",
+    "ClusterService",
+    "serve",
+    "run_shard",
+]

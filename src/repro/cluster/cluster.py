@@ -1,0 +1,364 @@
+"""Cluster orchestration: plan, fan out, fail over, aggregate.
+
+:func:`run_cluster` simulates a consistent-hash cluster of Flash-cache
+shards under one open-loop traffic plan:
+
+1. **Plan** (serial, deterministic): sample the arrival process
+   (:mod:`repro.cluster.arrivals`), route every request to a shard on
+   the :class:`~repro.cluster.ring.HashRing` — arrivals after a scripted
+   kill instant route around the doomed shard, as a cluster membership
+   service would have removed it;
+2. **Stage 1** — run the *retirable* shards (scripted kill target,
+   and/or an aged shard whose fault/reliability ladder may trip graceful
+   degradation) through :func:`repro.parallel.sweep`.  Each returns the
+   arrivals it could not serve after retirement as redirects;
+3. **Stage 2** — merge the redirects into the survivors' substreams (in
+   ``(time_us, seq)`` order, routed around every stage-1 shard) and run
+   the survivors.  With no retirable shards there is a single stage;
+4. **Aggregate**: merge histograms, telemetry, and time buckets in
+   shard-id order and assert the accounting invariant — every planned
+   arrival is completed, shed, or lost exactly once::
+
+       planned == sum(completed) + sum(shed) + sum(lost)
+
+Because both stages fan out through :func:`repro.parallel.sweep` with
+module-level task functions and plain-data kwargs, the entire result —
+feed included — is byte-identical at any ``workers`` setting.  The known
+modelling bound: stage-2 survivors absorb failover traffic but do not
+themselves retire mid-run (a second-order cascade the single-failure
+scenarios here never trigger).
+"""
+
+from __future__ import annotations
+
+from dataclasses import asdict, dataclass, field
+from typing import Any, Callable, Dict, List, Optional, Sequence
+
+from ..parallel import SweepTask, merge_telemetry, sweep
+from ..telemetry import LatencyHistogram, Telemetry
+from .arrivals import ARRIVAL_PATTERNS, Arrival, build_arrivals
+from .ring import HashRing
+from .shard import run_shard
+
+__all__ = ["ClusterScenario", "ClusterResult", "run_cluster"]
+
+#: Orchestration progress events (parent process only, never pickled):
+#: ``{"kind": "stage"|"shard", ...}``.
+ProgressCallback = Callable[[Dict[str, Any]], None]
+
+#: Per-bucket row layout produced by the shard engine.
+_BUCKET_FIELDS = ("arrivals", "completed", "shed", "lost", "redirected",
+                  "response_sum_us", "response_max_us")
+
+
+@dataclass(frozen=True)
+class ClusterScenario:
+    """One cluster configuration: traffic plan, shard fleet, failures."""
+
+    shards: int = 3
+    pattern: str = "steady"
+    #: Peak arrival rate across the whole cluster (requests/second).
+    rate_rps: float = 4000.0
+    duration_s: float = 1.0
+    workload: str = "specweb99"
+    footprint_pages: int = 16384
+    # -- per-shard platform --------------------------------------------------
+    dram_bytes: int = 4 << 20
+    flash_bytes: int = 16 << 20
+    queue_depth: int = 8
+    channels: int = 2
+    planes: int = 2
+    #: Host wait-queue length beyond the window before requests shed.
+    shed_queue: int = 64
+    # -- failure script ------------------------------------------------------
+    #: Shard to kill mid-run (None = no scripted failure).
+    kill_shard: Optional[int] = None
+    #: Kill instant (us); defaults to mid-run when ``kill_shard`` is set.
+    kill_at_us: Optional[float] = None
+    #: Shard carrying the PR-1 fault ladder / PR-6 reliability model.
+    aged_shard: Optional[int] = None
+    aged_fault_rate: float = 0.0
+    aged_reliability_rate: float = 0.0
+    #: Whether the aged shard leaves the cluster when degradation trips.
+    retire_on_degraded: bool = True
+    # -- observability -------------------------------------------------------
+    bucket_ms: float = 50.0
+    sample_interval: int = 1000
+    vnodes: int = 64
+    seed: int = 42
+
+    def effective_kill_at_us(self) -> Optional[float]:
+        if self.kill_shard is None:
+            return None
+        if self.kill_at_us is not None:
+            return self.kill_at_us
+        return self.duration_s * 1e6 / 2.0
+
+
+@dataclass
+class ClusterResult:
+    """Aggregated outcome of one cluster run."""
+
+    scenario: Dict[str, Any]
+    arrivals: int
+    completed: int
+    shed: int
+    lost: int
+    redirected: int
+    span_us: float
+    throughput_rps: float
+    response: LatencyHistogram
+    queue_delay: LatencyHistogram
+    #: Per-shard summaries (shard-id order), each with its own buckets.
+    shards: List[Dict[str, Any]] = field(default_factory=list)
+    #: Merged per-shard telemetry (event-bus metrics + sampler series).
+    telemetry: Optional[Telemetry] = None
+
+    @property
+    def shed_fraction(self) -> float:
+        return self.shed / self.arrivals if self.arrivals else 0.0
+
+    def bucket_rows(self) -> List[Dict[str, Any]]:
+        """Time-bucketed feed rows: per-shard rows then a cluster row
+        per bucket, ordered by (time, shard) — the deterministic body of
+        the JSON/CSV feed."""
+        bucket_ms = self.scenario["bucket_ms"]
+        merged: Dict[int, List[float]] = {}
+        rows: List[Dict[str, Any]] = []
+        for shard in self.shards:
+            for index, values in shard["buckets"].items():
+                rows.append(self._row(bucket_ms, index, str(shard["shard_id"]),
+                                      values))
+                into = merged.setdefault(index, [0, 0, 0, 0, 0, 0.0, 0.0])
+                for position, value in enumerate(values):
+                    into[position] += value
+        for index, values in merged.items():
+            # A redirected arrival was counted at its origin *and* again
+            # at the shard that finally served it; the cluster view
+            # counts it once.
+            cluster_values = list(values)
+            cluster_values[0] -= cluster_values[4]
+            cluster_values[6] = max(
+                shard["buckets"][index][6] for shard in self.shards
+                if index in shard["buckets"])
+            rows.append(self._row(bucket_ms, index, "cluster",
+                                  cluster_values))
+        rows.sort(key=lambda row: (row["t_ms"],
+                                   -1 if row["shard"] == "cluster"
+                                   else int(row["shard"])))
+        return rows
+
+    @staticmethod
+    def _row(bucket_ms: float, index: int, shard: str,
+             values: Sequence[float]) -> Dict[str, Any]:
+        completed = int(values[1])
+        row: Dict[str, Any] = {"t_ms": index * bucket_ms, "shard": shard}
+        for name, value in zip(_BUCKET_FIELDS[:5], values[:5]):
+            row[name] = int(value)
+        row["mean_response_us"] = (round(values[5] / completed, 3)
+                                   if completed else 0.0)
+        row["max_response_us"] = round(values[6], 3)
+        return row
+
+    def as_dict(self) -> Dict[str, Any]:
+        """JSON-ready document (histograms reduced to percentiles)."""
+        return {
+            "scenario": self.scenario,
+            "totals": {
+                "arrivals": self.arrivals,
+                "completed": self.completed,
+                "shed": self.shed,
+                "lost": self.lost,
+                "redirected": self.redirected,
+                "shed_fraction": round(self.shed_fraction, 6),
+                "span_us": round(self.span_us, 3),
+                "throughput_rps": round(self.throughput_rps, 3),
+            },
+            "latency": {
+                "response_mean_us": round(self.response.mean, 3),
+                "response_p50_us": round(self.response.p50, 3),
+                "response_p95_us": round(self.response.p95, 3),
+                "response_p99_us": round(self.response.p99, 3),
+                "queue_delay_mean_us": round(self.queue_delay.mean, 3),
+                "queue_delay_p99_us": round(self.queue_delay.p99, 3),
+            },
+            "shards": [self._shard_dict(shard) for shard in self.shards],
+            "buckets": self.bucket_rows(),
+        }
+
+    @staticmethod
+    def _shard_dict(shard: Dict[str, Any]) -> Dict[str, Any]:
+        out = {key: value for key, value in shard.items()
+               if key != "buckets"}
+        return out
+
+
+def _validate(scenario: ClusterScenario) -> None:
+    if scenario.shards < 1:
+        raise ValueError("shards must be >= 1")
+    if scenario.pattern not in ARRIVAL_PATTERNS:
+        raise ValueError(f"unknown arrival pattern {scenario.pattern!r}; "
+                         f"known: {', '.join(ARRIVAL_PATTERNS)}")
+    for label, shard_id in (("kill_shard", scenario.kill_shard),
+                            ("aged_shard", scenario.aged_shard)):
+        if shard_id is not None and not 0 <= shard_id < scenario.shards:
+            raise ValueError(f"{label}={shard_id} outside the fleet "
+                             f"(0..{scenario.shards - 1})")
+
+
+def _retirable_ids(scenario: ClusterScenario) -> List[int]:
+    """Shards that may leave the cluster mid-run (stage-1 members)."""
+    risky = []
+    if scenario.kill_shard is not None:
+        risky.append(scenario.kill_shard)
+    if (scenario.aged_shard is not None and scenario.retire_on_degraded
+            and (scenario.aged_fault_rate > 0.0
+                 or scenario.aged_reliability_rate > 0.0)
+            and scenario.aged_shard not in risky):
+        risky.append(scenario.aged_shard)
+    return sorted(risky)
+
+
+def _shard_task(scenario: ClusterScenario, shard_id: int,
+                stream: List[Arrival],
+                kill_at_us: Optional[float]) -> SweepTask:
+    aged = shard_id == scenario.aged_shard
+    return SweepTask(
+        key=f"cluster:shard={shard_id}",
+        fn=run_shard,
+        kwargs={
+            "shard_id": shard_id,
+            "arrivals": stream,
+            "dram_bytes": scenario.dram_bytes,
+            "flash_bytes": scenario.flash_bytes,
+            "queue_depth": scenario.queue_depth,
+            "channels": scenario.channels,
+            "planes": scenario.planes,
+            "shed_queue": scenario.shed_queue,
+            "fail_at_us": (kill_at_us
+                           if shard_id == scenario.kill_shard else None),
+            "retire_on_degraded": aged and scenario.retire_on_degraded,
+            "fault_rate": scenario.aged_fault_rate if aged else 0.0,
+            "reliability_rate": (scenario.aged_reliability_rate
+                                 if aged else 0.0),
+            "bucket_us": scenario.bucket_ms * 1000.0,
+            "sample_interval": scenario.sample_interval,
+            "seed": scenario.seed,
+        })
+
+
+def _run_stage(scenario: ClusterScenario, stage: str, shard_ids: List[int],
+               substreams: Dict[int, List[Arrival]],
+               kill_at_us: Optional[float], workers: int,
+               progress: Optional[ProgressCallback],
+               ) -> Dict[int, Dict[str, Any]]:
+    """Fan one stage's shards out through the parallel runner."""
+    if not shard_ids:
+        return {}
+    if progress is not None:
+        progress({"kind": "stage", "stage": stage,
+                  "shards": list(shard_ids)})
+    tasks = [_shard_task(scenario, shard_id, substreams[shard_id],
+                         kill_at_us) for shard_id in shard_ids]
+    stage_progress = None
+    if progress is not None:
+        def stage_progress(result, done, total):
+            progress({"kind": "shard", "stage": stage, "key": result.key,
+                      "ok": result.ok, "done": done, "total": total})
+    results = sweep(tasks, workers=workers, progress=stage_progress)
+    return {shard_id: result.unwrap()
+            for shard_id, result in zip(shard_ids, results)}
+
+
+def run_cluster(scenario: ClusterScenario, workers: int = 1,
+                progress: Optional[ProgressCallback] = None,
+                ) -> ClusterResult:
+    """Simulate one cluster scenario; identical at any worker count."""
+    _validate(scenario)
+    kill_at_us = scenario.effective_kill_at_us()
+    arrivals = build_arrivals(scenario.pattern, scenario.rate_rps,
+                              scenario.duration_s, scenario.workload,
+                              scenario.footprint_pages, scenario.seed)
+    ring = HashRing(range(scenario.shards), vnodes=scenario.vnodes)
+    substreams: Dict[int, List[Arrival]] = {
+        shard_id: [] for shard_id in range(scenario.shards)}
+    kill = scenario.kill_shard
+    for arrival in arrivals:
+        time_us, _, page, _ = arrival
+        if kill is not None and kill_at_us is not None \
+                and time_us >= kill_at_us:
+            target = ring.route(page, exclude=(kill,))
+        else:
+            target = ring.route(page)
+        substreams[target].append(arrival)
+
+    risky = _retirable_ids(scenario)
+    healthy = [shard_id for shard_id in range(scenario.shards)
+               if shard_id not in risky]
+    outcomes = _run_stage(scenario, "retirable", risky, substreams,
+                          kill_at_us, workers, progress)
+
+    redirects: List[Arrival] = []
+    for shard_id in risky:
+        redirects.extend(outcomes[shard_id]["redirects"])
+    if redirects:
+        if not healthy:
+            raise ValueError("every shard retired; failover traffic has "
+                             "nowhere to go")
+        for arrival in redirects:
+            target = ring.route(arrival[2], exclude=risky)
+            substreams[target].append(arrival)
+        for shard_id in healthy:
+            substreams[shard_id].sort(key=lambda a: (a[0], a[1]))
+    outcomes.update(_run_stage(scenario, "serving", healthy, substreams,
+                               kill_at_us, workers, progress))
+    return _combine(scenario, arrivals, outcomes)
+
+
+def _combine(scenario: ClusterScenario, arrivals: List[Arrival],
+             outcomes: Dict[int, Dict[str, Any]]) -> ClusterResult:
+    ordered = [outcomes[shard_id] for shard_id in sorted(outcomes)]
+    planned = len(arrivals)
+    completed = sum(outcome["completed"] for outcome in ordered)
+    shed = sum(outcome["shed"] for outcome in ordered)
+    lost = sum(outcome["lost"] for outcome in ordered)
+    redirected = sum(outcome["redirected"] for outcome in ordered)
+    arrived = sum(outcome["arrivals"] for outcome in ordered)
+    if completed + shed + lost != planned or arrived - redirected != planned:
+        raise RuntimeError(
+            f"cluster lost-request accounting drift: planned {planned}, "
+            f"completed {completed} + shed {shed} + lost {lost} "
+            f"(arrived {arrived}, redirected {redirected})")
+    response = LatencyHistogram("cluster.response_us")
+    queue_delay = LatencyHistogram("cluster.queue_delay_us")
+    for outcome in ordered:
+        response.merge(outcome["response"])
+        queue_delay.merge(outcome["queue_delay"])
+    span_us = max(outcome["span_us"] for outcome in ordered)
+    shards = []
+    for outcome in ordered:
+        summary = {key: value for key, value in outcome.items()
+                   if key not in ("redirects", "response", "queue_delay",
+                                  "service_latency", "telemetry")}
+        summary["response_p50_us"] = round(outcome["response"].p50, 3)
+        summary["response_p95_us"] = round(outcome["response"].p95, 3)
+        summary["response_p99_us"] = round(outcome["response"].p99, 3)
+        summary["mean_queue_delay_us"] = round(
+            outcome["queue_delay"].mean, 3)
+        shards.append(summary)
+    return ClusterResult(
+        scenario=asdict(scenario),
+        arrivals=planned,
+        completed=completed,
+        shed=shed,
+        lost=lost,
+        redirected=redirected,
+        span_us=span_us,
+        throughput_rps=(completed / (span_us * 1e-6) if span_us > 0
+                        else 0.0),
+        response=response,
+        queue_delay=queue_delay,
+        shards=shards,
+        telemetry=merge_telemetry(outcome["telemetry"]
+                                  for outcome in ordered),
+    )

@@ -1,0 +1,72 @@
+"""Deterministic JSON/CSV telemetry feed for cluster runs.
+
+The feed is the cluster's figure-grade artifact: a time-bucketed view of
+offered load, completions, shedding, losses, and response latency, per
+shard and cluster-wide, plus each shard's :class:`TraceSampler` health
+series (miss rate, live capacity, wear) harvested from its telemetry
+handle.  It is part of the determinism contract — byte-identical for a
+fixed seed at any worker layout — so every row is emitted in a canonical
+order and all writes go through :mod:`repro.atomicio`.
+
+Formats:
+
+* **JSONL** — one ``{"type": "meta"}`` header line (scenario + totals),
+  one ``{"type": "sample"}`` line per (bucket, shard) row with the
+  cluster row first in each bucket, then one ``{"type": "series"}`` line
+  per shard health series;
+* **CSV** — the sample rows alone, flat, for spreadsheet/plot use.
+"""
+
+from __future__ import annotations
+
+import csv
+import io
+import json
+from typing import Any, Dict, List
+
+from ..atomicio import atomic_write_text
+from .cluster import ClusterResult
+
+__all__ = ["feed_lines", "write_feed_jsonl", "write_feed_csv"]
+
+#: Column order of the CSV feed (and of every sample row's JSON keys).
+SAMPLE_COLUMNS = ("t_ms", "shard", "arrivals", "completed", "shed",
+                  "lost", "redirected", "mean_response_us",
+                  "max_response_us")
+
+
+def _series_rows(result: ClusterResult) -> List[Dict[str, Any]]:
+    telemetry = result.telemetry
+    if telemetry is None:
+        return []
+    return [{"type": "series", "name": name,
+             "xs": list(series.xs), "ys": list(series.ys)}
+            for name, series in sorted(telemetry.timeseries.items())]
+
+
+def feed_lines(result: ClusterResult) -> List[str]:
+    """The canonical JSONL feed, one JSON document per line."""
+    document = result.as_dict()
+    meta = {"type": "meta", "scenario": document["scenario"],
+            "totals": document["totals"], "latency": document["latency"],
+            "shards": document["shards"]}
+    lines = [json.dumps(meta, sort_keys=True)]
+    for row in result.bucket_rows():
+        lines.append(json.dumps({"type": "sample", **row},
+                                sort_keys=True))
+    for row in _series_rows(result):
+        lines.append(json.dumps(row, sort_keys=True))
+    return lines
+
+
+def write_feed_jsonl(result: ClusterResult, path: str) -> None:
+    atomic_write_text(path, "\n".join(feed_lines(result)) + "\n")
+
+
+def write_feed_csv(result: ClusterResult, path: str) -> None:
+    buffer = io.StringIO()
+    writer = csv.writer(buffer)
+    writer.writerow(SAMPLE_COLUMNS)
+    for row in result.bucket_rows():
+        writer.writerow([row[column] for column in SAMPLE_COLUMNS])
+    atomic_write_text(path, buffer.getvalue())

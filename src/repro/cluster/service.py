@@ -1,0 +1,80 @@
+"""Asyncio front-end for the cluster simulation.
+
+:class:`ClusterService` is the serving shell around
+:func:`repro.cluster.cluster.run_cluster`: it runs the deterministic
+core in a worker thread (which in turn fans shards out across processes
+via the parallel runner), while the asyncio loop stays free to stream
+orchestration events — stage starts, shard completions — to a consumer
+as they happen, the way a live cluster would publish health events.
+
+The split keeps the determinism contract honest: everything
+result-bearing happens inside ``run_cluster`` (simulated clocks, seeded
+RNGs, ordered aggregation); the asyncio layer only *observes*.  Event
+delivery order between concurrently-finishing shards is operational, not
+part of the byte-identity contract — the feed files written from the
+returned :class:`~repro.cluster.cluster.ClusterResult` are.
+"""
+
+from __future__ import annotations
+
+import asyncio
+from typing import Any, Callable, Dict, Optional
+
+from .cluster import ClusterResult, ClusterScenario, run_cluster
+
+__all__ = ["ClusterService", "serve"]
+
+
+class ClusterService:
+    """Run one cluster scenario with live progress streaming."""
+
+    def __init__(self, scenario: ClusterScenario, workers: int = 1):
+        self.scenario = scenario
+        self.workers = workers
+
+    async def run(self,
+                  on_event: Optional[Callable[[Dict[str, Any]], None]]
+                  = None) -> ClusterResult:
+        """Drive the simulation; returns the aggregated result.
+
+        ``on_event`` receives each orchestration progress event on the
+        asyncio loop's thread, in arrival order.
+        """
+        loop = asyncio.get_running_loop()
+        events: "asyncio.Queue[Dict[str, Any]]" = asyncio.Queue()
+
+        def forward(event: Dict[str, Any]) -> None:
+            # Called from the worker thread (and only there); hop onto
+            # the loop's thread before touching the queue.
+            loop.call_soon_threadsafe(events.put_nowait, event)
+
+        future = loop.run_in_executor(
+            None, lambda: run_cluster(self.scenario, workers=self.workers,
+                                      progress=forward))
+        pump: "asyncio.Future[Dict[str, Any]]" = asyncio.ensure_future(
+            events.get())
+        try:
+            while True:
+                done, _ = await asyncio.wait(
+                    {future, pump}, return_when=asyncio.FIRST_COMPLETED)
+                if pump in done:
+                    if on_event is not None:
+                        on_event(pump.result())
+                    pump = asyncio.ensure_future(events.get())
+                    continue
+                # The simulation finished; drain stragglers and return.
+                pump.cancel()
+                while not events.empty():
+                    if on_event is not None:
+                        on_event(events.get_nowait())
+                return await future
+        finally:
+            if not pump.done():
+                pump.cancel()
+
+
+def serve(scenario: ClusterScenario, workers: int = 1,
+          on_event: Optional[Callable[[Dict[str, Any]], None]] = None,
+          ) -> ClusterResult:
+    """Synchronous entry point: run the service on a fresh event loop."""
+    return asyncio.run(ClusterService(scenario, workers).run(on_event))

@@ -1,0 +1,336 @@
+"""One cluster shard: an open-loop Flash cache engine with shedding.
+
+A shard is a full single-node hierarchy (DRAM PDC + Flash disk cache +
+disk) driven by the same event-loop machinery as
+:mod:`repro.sim.concurrent`, but open-loop: arrivals come at absolute
+instants from the front-end's traffic plan instead of being pulled by
+freed window slots.  On top of the outstanding-request window the shard
+adds the two cluster behaviours:
+
+* **admission control** — when the window is full a request waits in a
+  FIFO host queue; when that queue reaches ``shed_queue`` the request is
+  shed (rejected before touching the cache, as a loaded server would
+  return 503 rather than grow its backlog without bound);
+* **retirement** — a shard leaves the cluster either at a scripted
+  instant (``fail_at_us``: requests still in flight are *lost*, later
+  completions don't count) or organically when graceful degradation
+  trips the cache into its bypass state (``retire_on_degraded`` with a
+  PR-1 fault ladder or PR-6 reliability model attached).  Arrivals after
+  retirement are returned to the orchestrator as *redirects* for the
+  survivors.
+
+Determinism: :func:`run_shard` is a module-level pure function of its
+picklable arguments (simlint SIM004), so it fans out through
+:func:`repro.parallel.sweep` with byte-identical results at any worker
+count.  Every per-shard RNG stream is derived via
+:func:`repro.parallel.derive_seed`.
+
+Accounting invariant, asserted at the end of every run::
+
+    arrivals == completed + shed + lost + redirected
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Any, Deque, Dict, List, Optional, Sequence
+
+from ..core.hierarchy import build_flash_system, FlashBackedSystem, \
+    PendingRequest
+from ..faults.injector import FaultConfig
+from ..flash.channels import ChannelConfig, NandScheduler
+from ..parallel import derive_seed
+from ..reliability import ReliabilityConfig
+from ..sim.events import Event, EventLoop, EventType
+from ..telemetry import LatencyHistogram, Telemetry, TraceSampler
+from .arrivals import Arrival
+
+__all__ = ["run_shard"]
+
+
+class _ShardEngine:
+    """One shard run's event-loop state (not reusable).
+
+    Handlers take simulated time only from ``loop.now_us`` (simlint
+    SIM010); ties resolve in posting order.  Arrivals chain: each ARRIVE
+    handler posts the next arrival at its absolute instant, so the heap
+    holds one future arrival at a time.
+    """
+
+    def __init__(self, system: FlashBackedSystem,
+                 arrivals: Sequence[Arrival], queue_depth: int,
+                 config: ChannelConfig, shed_queue: int,
+                 fail_at_us: Optional[float], retire_on_degraded: bool,
+                 bucket_us: float) -> None:
+        self.system = system
+        self.queue_depth = queue_depth
+        self.shed_queue = shed_queue
+        self.fail_at_us = fail_at_us
+        self.retire_on_degraded = retire_on_degraded
+        self.bucket_us = bucket_us
+        self.loop = EventLoop()
+        self.scheduler = NandScheduler(config)
+        self.response = LatencyHistogram("response_us")
+        self.queue_delay = LatencyHistogram("queue_delay_us")
+        self.service_latency = LatencyHistogram("service_latency_us")
+        self.sampler: Optional[TraceSampler] = None
+        self.position = 0
+        self.wait: Deque[PendingRequest] = deque()
+        self.slots = 0
+        self.arrived = 0
+        self.completed = 0
+        self.shed = 0
+        self.lost = 0
+        self.redirects: List[Arrival] = []
+        #: Simulated instant the shard left the cluster, if it did.
+        self.retired_at_us: Optional[float] = None
+        self.channel_stalls = 0
+        self.gc_events = 0
+        self.scrub_events = 0
+        self._source = iter(arrivals)
+        self._last_scrub_passes = self._scrub_passes()
+        #: Per-time-bucket rows: [arrivals, completed, shed, lost,
+        #: redirected, response_sum_us, response_max_us].
+        self.buckets: Dict[int, List[float]] = {}
+        loop = self.loop
+        loop.register(EventType.ARRIVE, self._on_arrive)
+        loop.register(EventType.DISPATCH, self._on_dispatch)
+        loop.register(EventType.CHANNEL_BUSY, self._on_channel_busy)
+        loop.register(EventType.COMPLETE, self._on_complete)
+        loop.register(EventType.GC, self._on_gc)
+        loop.register(EventType.SCRUB, self._on_scrub)
+
+    def _scrub_passes(self) -> int:
+        scrubber = getattr(self.system, "scrubber", None)
+        return scrubber.stats.passes if scrubber is not None else 0
+
+    def _bucket(self, time_us: float) -> List[float]:
+        index = int(time_us // self.bucket_us)
+        row = self.buckets.get(index)
+        if row is None:
+            row = self.buckets[index] = [0, 0, 0, 0, 0, 0.0, 0.0]
+        return row
+
+    def _post_next_arrival(self) -> None:
+        arrival = next(self._source, None)
+        if arrival is not None:
+            self.loop.post_at(arrival[0], Event(EventType.ARRIVE, arrival))
+
+    # -- event handlers ------------------------------------------------------
+
+    def _on_arrive(self, event: Event) -> None:
+        arrival: Arrival = event.payload
+        loop = self.loop
+        now_us = loop.now_us
+        self.arrived += 1
+        bucket = self._bucket(now_us)
+        bucket[0] += 1
+        if (self.retired_at_us is None and self.fail_at_us is not None
+                and now_us >= self.fail_at_us):
+            self.retired_at_us = self.fail_at_us
+        if self.retired_at_us is not None:
+            # The shard is out of the cluster; hand the request back to
+            # the orchestrator for re-routing across the survivors.
+            self.redirects.append(arrival)
+            bucket[4] += 1
+        elif self.slots >= self.queue_depth \
+                and len(self.wait) >= self.shed_queue:
+            self.shed += 1
+            bucket[2] += 1
+        else:
+            self._admit(arrival, now_us)
+        self._post_next_arrival()
+
+    def _admit(self, arrival: Arrival, now_us: float) -> None:
+        _, _, page, is_read = arrival
+        loop = self.loop
+        system = self.system
+        # Functional execution at admission, in arrival order — the same
+        # state/timing split as run_trace_concurrent, so cache contents
+        # are a pure function of the admitted request sequence.
+        if is_read:
+            pending = system.submit_read(page)
+        else:
+            pending = system.submit_write(page)
+        pending.arrive_us = now_us
+        self.position += 1
+        sampler = self.sampler
+        if sampler is not None and self.position >= sampler.next_at:
+            sampler.maybe_sample(self.position)
+        if pending.gc_us > 0:
+            loop.post(0.0, Event(EventType.GC, pending.gc_us))
+        scrub_passes = self._scrub_passes()
+        if scrub_passes > self._last_scrub_passes:
+            self._last_scrub_passes = scrub_passes
+            loop.post(0.0, Event(EventType.SCRUB, pending.page))
+        if self.slots < self.queue_depth:
+            self.slots += 1
+            loop.post(system.config.cpu_us_per_request,
+                      Event(EventType.DISPATCH, pending))
+        else:
+            self.wait.append(pending)
+        # Graceful degradation may have tripped while serving this very
+        # request; admitted work completes, later arrivals redirect.
+        if (self.retire_on_degraded and self.retired_at_us is None
+                and self.system.flash.degraded):
+            self.retired_at_us = now_us
+
+    def _on_dispatch(self, event: Event) -> None:
+        pending: PendingRequest = event.payload
+        loop = self.loop
+        pending.dispatch_us = loop.now_us
+        ready_us = loop.now_us
+        wait_us = 0.0
+        scheduler = self.scheduler
+        for op in pending.ops:
+            placed = scheduler.schedule(ready_us, op.latency_us)
+            if placed.wait_us > 0:
+                loop.post_at(placed.start_us,
+                             Event(EventType.CHANNEL_BUSY,
+                                   (placed.channel, placed.wait_us)))
+                wait_us += placed.wait_us
+            ready_us = placed.end_us
+        finish_us = pending.dispatch_us + pending.service_us + wait_us
+        loop.post_at(finish_us, Event(EventType.COMPLETE, pending))
+
+    def _on_channel_busy(self, event: Event) -> None:
+        self.channel_stalls += 1
+
+    def _on_complete(self, event: Event) -> None:
+        pending: PendingRequest = event.payload
+        loop = self.loop
+        now_us = loop.now_us
+        pending.finish_us = now_us
+        self.system.complete_request(pending)
+        bucket = self._bucket(now_us)
+        if self.fail_at_us is not None and now_us > self.fail_at_us:
+            # In flight when the shard died: the work happened, the
+            # response never left the building.
+            self.lost += 1
+            bucket[3] += 1
+        else:
+            self.completed += 1
+            response_us = now_us - pending.arrive_us
+            self.response.observe(response_us)
+            self.queue_delay.observe(response_us - pending.service_us
+                                     - self.system.config.cpu_us_per_request)
+            self.service_latency.observe(pending.service_us)
+            bucket[1] += 1
+            bucket[5] += response_us
+            if response_us > bucket[6]:
+                bucket[6] = response_us
+        self.slots -= 1
+        if self.wait:
+            # The freed slot picks up the oldest waiter; it pays the
+            # same host CPU step an immediately-admitted request does.
+            self.slots += 1
+            loop.post(self.system.config.cpu_us_per_request,
+                      Event(EventType.DISPATCH, self.wait.popleft()))
+
+    def _on_gc(self, event: Event) -> None:
+        self.gc_events += 1
+
+    def _on_scrub(self, event: Event) -> None:
+        self.scrub_events += 1
+
+    # -- driving -------------------------------------------------------------
+
+    def run(self) -> float:
+        """Chain arrivals through the loop; returns the makespan (us)."""
+        self._post_next_arrival()
+        loop_end_us = self.loop.run()
+        horizon_us = self.scheduler.horizon_us()
+        span_us = loop_end_us if loop_end_us >= horizon_us else horizon_us
+        if self.fail_at_us is not None and self.retired_at_us is None:
+            # A scripted kill happens whether or not any arrival landed
+            # after it (the front-end routes around a dead shard).
+            self.retired_at_us = self.fail_at_us
+        accounted = (self.completed + self.shed + self.lost
+                     + len(self.redirects))
+        if accounted != self.arrived:
+            raise RuntimeError(
+                f"shard accounting drift: {self.arrived} arrivals vs "
+                f"{self.completed} completed + {self.shed} shed + "
+                f"{self.lost} lost + {len(self.redirects)} redirected")
+        return span_us
+
+
+def run_shard(shard_id: int, arrivals: List[Arrival], dram_bytes: int,
+              flash_bytes: int, queue_depth: int, channels: int,
+              planes: int, shed_queue: int, fail_at_us: Optional[float],
+              retire_on_degraded: bool, fault_rate: float,
+              reliability_rate: float, bucket_us: float,
+              sample_interval: int, seed: int) -> Dict[str, Any]:
+    """Simulate one shard's run; the cluster sweep's worker entry point.
+
+    Returns a picklable outcome dict: request accounting, latency
+    histograms, per-time-bucket rows, redirected arrivals (for the
+    orchestrator's failover stage), device-health stats, and the shard's
+    :class:`~repro.telemetry.Telemetry` handle (event-bus metrics plus
+    :class:`~repro.telemetry.TraceSampler` health series).
+    """
+    if queue_depth < 1:
+        raise ValueError("queue_depth must be >= 1")
+    if shed_queue < 1:
+        raise ValueError("shed_queue must be >= 1")
+    fault_config = None
+    if fault_rate > 0.0:
+        fault_config = FaultConfig.uniform(
+            fault_rate, seed=derive_seed(seed, f"shard:{shard_id}:faults"))
+    reliability_config = None
+    if reliability_rate > 0.0:
+        reliability_config = ReliabilityConfig.uniform(
+            reliability_rate,
+            seed=derive_seed(seed, f"shard:{shard_id}:reliability"))
+    system = build_flash_system(
+        dram_bytes=dram_bytes, flash_bytes=flash_bytes,
+        seed=derive_seed(seed, f"shard:{shard_id}:device"),
+        fault_config=fault_config,
+        reliability_config=reliability_config,
+    )
+    telemetry = Telemetry(sample_interval=sample_interval)
+    telemetry.attach(system)
+    engine = _ShardEngine(system, arrivals, queue_depth,
+                          ChannelConfig(channels=channels, planes=planes),
+                          shed_queue, fail_at_us, retire_on_degraded,
+                          bucket_us)
+    engine.sampler = TraceSampler(telemetry, system,
+                                  interval=sample_interval)
+    span_us = engine.run()
+    engine.sampler.finalize(engine.position)
+    telemetry.harvest_cache_counters(system.flash)
+    telemetry.harvest_system_counters(system)
+    flash = system.flash
+    stats = flash.stats
+    lookups = stats.read_hits + stats.read_misses
+    controller_stats = flash.controller.stats
+    return {
+        "shard_id": shard_id,
+        "arrivals": engine.arrived,
+        "completed": engine.completed,
+        "shed": engine.shed,
+        "lost": engine.lost,
+        "redirected": len(engine.redirects),
+        "redirects": engine.redirects,
+        "retired_at_us": engine.retired_at_us,
+        "span_us": span_us,
+        "response": engine.response,
+        "queue_delay": engine.queue_delay,
+        "service_latency": engine.service_latency,
+        "buckets": {index: list(row)
+                    for index, row in sorted(engine.buckets.items())},
+        "channel_busy_us": list(engine.scheduler.channel_busy_us),
+        "channel_stalls": engine.channel_stalls,
+        "gc_events": engine.gc_events,
+        "scrub_events": engine.scrub_events,
+        "flash_miss_rate": (stats.read_misses / lookups if lookups
+                            else 0.0),
+        "live_capacity": flash.live_capacity_fraction(),
+        "degraded": flash.degraded,
+        "retired_blocks": stats.retired_blocks,
+        "recovered_faults": stats.recovered_faults,
+        "unrecovered_faults": stats.unrecovered_faults,
+        "read_retries": controller_stats.read_retries,
+        "uncorrectable_reads": controller_stats.uncorrectable_reads,
+        "telemetry": telemetry,
+    }

@@ -44,6 +44,7 @@ from . import (
     fig12_lifetime,
     fig13_error_regimes,
     fig14_concurrency,
+    fig15_cluster,
 )
 from .report import ReportScale
 
@@ -195,6 +196,15 @@ def _fig14_combine(results: Sequence[SweepResult]) -> Any:
     return [asdict(row) for row in fig14_concurrency.combine(results)]
 
 
+def _fig15_build(scale: ReportScale) -> List[SweepTask]:
+    return fig15_cluster.tasks(
+        duration_s=0.25 if scale.scale_divisor > 64 else 0.5)
+
+
+def _fig15_combine(results: Sequence[SweepResult]) -> Any:
+    return fig15_cluster.as_rows(fig15_cluster.combine(results))
+
+
 SWEEPS: Dict[str, SweepSpec] = {
     "fig1b": SweepSpec("fig1b", "GC overhead vs occupancy",
                        _fig1b_build, _fig1b_combine),
@@ -218,6 +228,9 @@ SWEEPS: Dict[str, SweepSpec] = {
     "fig14": SweepSpec("fig14", "throughput and latency split vs "
                        "queue depth x channels",
                        _fig14_build, _fig14_combine),
+    "fig15": SweepSpec("fig15", "cluster capacity and tail latency vs "
+                       "shards x arrival rate",
+                       _fig15_build, _fig15_combine),
 }
 
 
@@ -228,8 +241,16 @@ def sweep_id_for(selected: Sequence[str], scale: ReportScale,
     Folds the figure selection and the scale fingerprint into the label
     and every task's key/kwargs/seed into the digest, so a journal can
     only resume a sweep that would recompute the very same grid.
+
+    The selection is canonicalised (sorted, deduplicated) before it is
+    folded in: ``--figures fig9,fig4`` names the same sweep as
+    ``--figures fig4,fig9``, so a resume with the figures spelled in a
+    different order still owns its journal.  (``run_sweep`` applies the
+    same canonicalisation to the task order, so the digest over the
+    flattened grid agrees too.)
     """
-    label = f"figures={','.join(selected)}|{scale.fingerprint()}"
+    label = (f"figures={','.join(sorted(set(selected)))}"
+             f"|{scale.fingerprint()}")
     return compute_sweep_id(tasks, label=label)
 
 
@@ -260,7 +281,12 @@ def run_sweep(figures: Optional[Sequence[str]] = None,
     excluded from that contract.
     """
     scale = scale or ReportScale()
-    selected = list(figures or SWEEPS)
+    # Canonical figure order: the selection is a *set* of grids, so
+    # ``fig9,fig4`` must build the same flattened task list (and hence
+    # the same sweep_id and journal identity) as ``fig4,fig9``.
+    # ``document["figures"]`` is a dict keyed by figure name, so the
+    # per-figure payloads are unaffected by this ordering.
+    selected = sorted(set(figures or SWEEPS))
     unknown = set(selected) - set(SWEEPS)
     if unknown:
         raise KeyError(f"unknown sweep figures: {sorted(unknown)}; "

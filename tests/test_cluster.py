@@ -1,0 +1,244 @@
+"""Cluster service tests: routing, arrivals, failover, determinism.
+
+Covers DESIGN.md section 15's contracts:
+
+* the consistent-hash ring is deterministic, balanced-ish, and minimal
+  on exclusion (only the excluded shard's keys move);
+* open-loop arrival plans are seeded, time-sorted, and shaped by their
+  intensity profile;
+* a fixed-seed cluster run — feed included — is byte-identical at any
+  worker layout (the acceptance criterion of ISSUE 8);
+* killing a shard mid-run keeps the survivors serving with bounded p99
+  and zero lost-request accounting drift, and an aged shard retiring
+  organically hands its tail traffic to the survivors;
+* admission control sheds rather than growing the backlog without
+  bound, and the asyncio serving shell streams orchestration events
+  without perturbing the result.
+"""
+
+from __future__ import annotations
+
+import json
+
+import pytest
+
+from repro.cluster import (
+    ARRIVAL_PATTERNS,
+    ClusterScenario,
+    ClusterService,
+    HashRing,
+    build_arrivals,
+    feed_lines,
+    run_cluster,
+    serve,
+    write_feed_csv,
+    write_feed_jsonl,
+)
+from repro.cluster.arrivals import intensity, sample_arrival_times
+
+
+class TestHashRing:
+    def test_routing_is_deterministic(self):
+        ring = HashRing(range(4))
+        other = HashRing(range(4))
+        pages = list(range(0, 5000, 7))
+        assert [ring.route(p) for p in pages] == \
+            [other.route(p) for p in pages]
+
+    def test_distribution_covers_every_shard(self):
+        ring = HashRing(range(4))
+        counts = {shard: 0 for shard in range(4)}
+        for page in range(4096):
+            counts[ring.route(page)] += 1
+        assert all(count > 0 for count in counts.values())
+        # vnodes keep the spread sane: no shard owns > half the keys.
+        assert max(counts.values()) < 4096 / 2
+
+    def test_exclusion_moves_only_the_excluded_keys(self):
+        ring = HashRing(range(4))
+        moved = 0
+        for page in range(2048):
+            home = ring.route(page)
+            rerouted = ring.route(page, exclude=(2,))
+            if home == 2:
+                assert rerouted != 2
+                moved += 1
+            else:
+                assert rerouted == home
+        assert moved > 0
+
+    def test_all_excluded_raises(self):
+        ring = HashRing(range(2))
+        with pytest.raises(ValueError):
+            ring.route(123, exclude=(0, 1))
+
+
+class TestArrivals:
+    def test_patterns_are_seeded_and_sorted(self):
+        for pattern in ARRIVAL_PATTERNS:
+            times = sample_arrival_times(pattern, 2000.0, 0.5, seed=9)
+            again = sample_arrival_times(pattern, 2000.0, 0.5, seed=9)
+            assert times == again
+            assert times == sorted(times)
+            assert all(0.0 <= t < 0.5e6 for t in times)
+            other_seed = sample_arrival_times(pattern, 2000.0, 0.5, seed=10)
+            assert times != other_seed
+
+    def test_intensity_profiles(self):
+        assert intensity("steady", 0.3) == 1.0
+        # Diurnal: trough at the edges, peak mid-window.
+        assert intensity("diurnal", 0.0) < intensity("diurnal", 0.5)
+        assert intensity("diurnal", 0.5) == pytest.approx(1.0)
+        # Flash crowd: quiet baseline, burst inside [0.45, 0.6).
+        assert intensity("flash_crowd", 0.2) < intensity("flash_crowd", 0.5)
+        # Drain: ramps linearly to zero.
+        assert intensity("drain", 0.0) == 1.0
+        assert intensity("drain", 1.0) == 0.0
+        with pytest.raises(ValueError):
+            intensity("nope", 0.5)
+
+    def test_flash_crowd_bursts(self):
+        times = sample_arrival_times("flash_crowd", 8000.0, 1.0, seed=4)
+        burst = sum(1 for t in times if 0.45e6 <= t < 0.6e6)
+        quiet = sum(1 for t in times if 0.0 <= t < 0.15e6)
+        # Same window width, 4x the intensity.
+        assert burst > 2 * quiet
+
+    def test_build_arrivals_zips_workload_keys(self):
+        arrivals = build_arrivals("steady", 2000.0, 0.25, "specweb99",
+                                  footprint_pages=4096, seed=7)
+        assert arrivals
+        assert [a[1] for a in arrivals] == list(range(len(arrivals)))
+        assert all(0 <= a[2] < 4096 for a in arrivals)
+        assert arrivals == build_arrivals("steady", 2000.0, 0.25,
+                                          "specweb99",
+                                          footprint_pages=4096, seed=7)
+
+
+def _kill_scenario(**overrides):
+    base = dict(shards=3, rate_rps=9000.0, duration_s=0.3, seed=3,
+                queue_depth=4, shed_queue=16, footprint_pages=4096,
+                kill_shard=1, kill_at_us=150_000.0)
+    base.update(overrides)
+    return ClusterScenario(**base)
+
+
+class TestRunCluster:
+    def test_byte_identical_across_worker_layouts(self):
+        scenario = _kill_scenario()
+        serial = run_cluster(scenario, workers=1)
+        pooled = run_cluster(scenario, workers=3)
+        assert feed_lines(serial) == feed_lines(pooled)
+        assert serial.as_dict() == pooled.as_dict()
+
+    def test_kill_one_shard_keeps_serving(self):
+        result = run_cluster(_kill_scenario(), workers=1)
+        killed = next(s for s in result.shards if s["shard_id"] == 1)
+        assert killed["retired_at_us"] == 150_000.0
+        # Accounting: every planned arrival lands exactly once.
+        assert result.completed + result.shed + result.lost == \
+            result.arrivals
+        # In-flight work at the kill instant is lost, not resurrected.
+        assert result.lost >= 0
+        assert killed["lost"] == result.lost
+        # Survivors keep serving after the kill: completions land in
+        # post-kill buckets on shards 0 and 2, never on shard 1.
+        post_kill = [row for row in result.bucket_rows()
+                     if row["t_ms"] >= 150.0 and row["shard"] != "cluster"]
+        survivors = [row for row in post_kill if row["shard"] != "1"]
+        assert sum(row["completed"] for row in survivors) > 0
+        assert sum(row["completed"] for row in post_kill
+                   if row["shard"] == "1") == 0
+        # Bounded tail: p99 stays within the shed-bounded backlog
+        # (queue_depth + shed_queue requests ahead, each <= a few ms).
+        assert 0.0 < result.response.p99 < 100_000.0
+
+    def test_aged_shard_retires_organically_and_redirects(self):
+        scenario = ClusterScenario(
+            shards=3, rate_rps=6000.0, duration_s=0.6, seed=11,
+            flash_bytes=2 << 20, dram_bytes=1 << 20,
+            footprint_pages=4096, aged_shard=0, aged_fault_rate=0.9)
+        result = run_cluster(scenario, workers=1)
+        aged = next(s for s in result.shards if s["shard_id"] == 0)
+        assert aged["degraded"]
+        assert aged["retired_at_us"] is not None
+        assert aged["redirected"] > 0
+        assert result.redirected == aged["redirected"]
+        # Redirected traffic is served by the survivors, not dropped.
+        assert result.completed + result.shed + result.lost == \
+            result.arrivals
+        # And the run stays worker-layout invariant through failover.
+        assert feed_lines(result) == \
+            feed_lines(run_cluster(scenario, workers=2))
+
+    def test_overload_sheds_instead_of_unbounded_backlog(self):
+        scenario = ClusterScenario(shards=2, rate_rps=20_000.0,
+                                   duration_s=0.2, seed=5, queue_depth=2,
+                                   shed_queue=4, footprint_pages=4096)
+        result = run_cluster(scenario, workers=1)
+        assert result.shed > 0
+        assert result.shed_fraction > 0.0
+        assert result.completed + result.shed == result.arrivals
+        # Shed requests never touched the cache, so the p99 of what was
+        # admitted stays bounded by the short wait queue.
+        assert result.response.p99 < 50_000.0
+
+    def test_scenario_validation(self):
+        with pytest.raises(ValueError):
+            run_cluster(ClusterScenario(shards=0))
+        with pytest.raises(ValueError):
+            run_cluster(ClusterScenario(pattern="bursty"))
+        with pytest.raises(ValueError):
+            run_cluster(ClusterScenario(shards=2, kill_shard=5))
+
+
+class TestFeed:
+    def test_jsonl_feed_shape(self, tmp_path):
+        result = run_cluster(_kill_scenario(duration_s=0.2), workers=1)
+        path = tmp_path / "feed.jsonl"
+        write_feed_jsonl(result, str(path))
+        lines = [json.loads(line)
+                 for line in path.read_text().splitlines()]
+        assert lines[0]["type"] == "meta"
+        assert lines[0]["totals"]["arrivals"] == result.arrivals
+        kinds = {line["type"] for line in lines}
+        assert kinds == {"meta", "sample", "series"}
+        samples = [line for line in lines if line["type"] == "sample"]
+        # Cluster row leads each bucket.
+        assert samples[0]["shard"] == "cluster"
+
+    def test_csv_matches_bucket_rows(self, tmp_path):
+        result = run_cluster(_kill_scenario(duration_s=0.2), workers=1)
+        path = tmp_path / "feed.csv"
+        write_feed_csv(result, str(path))
+        rows = path.read_text().splitlines()
+        assert rows[0].startswith("t_ms,shard,arrivals")
+        assert len(rows) == 1 + len(result.bucket_rows())
+
+
+class TestClusterService:
+    def test_serve_matches_run_cluster_and_streams_events(self):
+        scenario = _kill_scenario(duration_s=0.2)
+        events = []
+        served = serve(scenario, workers=2, on_event=events.append)
+        direct = run_cluster(scenario, workers=1)
+        assert feed_lines(served) == feed_lines(direct)
+        kinds = [event["kind"] for event in events]
+        assert "stage" in kinds and "shard" in kinds
+        stages = [event["stage"] for event in events
+                  if event["kind"] == "stage"]
+        assert stages == ["retirable", "serving"]
+        shard_events = [event for event in events
+                        if event["kind"] == "shard"]
+        assert all(event["ok"] for event in shard_events)
+        assert len(shard_events) == scenario.shards
+
+    def test_service_object_is_reusable(self):
+        scenario = ClusterScenario(shards=2, rate_rps=2000.0,
+                                   duration_s=0.1, seed=2,
+                                   footprint_pages=2048)
+        service = ClusterService(scenario, workers=1)
+        import asyncio
+        first = asyncio.run(service.run())
+        second = asyncio.run(service.run())
+        assert feed_lines(first) == feed_lines(second)

@@ -3,6 +3,7 @@ capture, compat-mode byte-identity, and fig14 invariances."""
 
 from __future__ import annotations
 
+import pickle
 from dataclasses import asdict
 
 import pytest
@@ -14,9 +15,11 @@ from repro.flash.device import FlashDevice
 from repro.flash.geometry import PageAddress
 from repro.parallel import sweep
 from repro.sim.concurrent import run_trace_concurrent
-from repro.sim.engine import run_trace
+from repro.sim.engine import QueueingStats, run_trace
 from repro.sim.events import Event, EventLoop, EventType
+from repro.telemetry import LatencyHistogram
 from repro.workloads.macro import build_workload
+from repro.workloads.postpdc import derive_disk_trace
 
 
 class TestEventLoop:
@@ -121,6 +124,72 @@ class TestNandScheduler:
         with pytest.raises(ValueError):
             sched.schedule(0.0, -1.0)
 
+    def test_utilization_at_zero_span_is_all_zeros(self):
+        # Degenerate window (no simulated time elapsed): the fraction
+        # must not divide by zero, and one row per channel survives.
+        sched = NandScheduler(ChannelConfig(channels=3, planes=2))
+        assert sched.utilization(0.0) == [0.0, 0.0, 0.0]
+        assert sched.utilization(-1.0) == [0.0, 0.0, 0.0]
+        sched.schedule(0.0, 25.0)
+        assert sched.utilization(0.0) == [0.0, 0.0, 0.0]
+
+    def test_multi_plane_saturation(self):
+        # 40 ops of 25us on a 2x2 fabric: 10 per plane, every plane
+        # busy end to end -> span 250us and both channels pegged at 1.0.
+        sched = NandScheduler(ChannelConfig(channels=2, planes=2))
+        for _ in range(40):
+            sched.schedule(0.0, 25.0)
+        span = sched.horizon_us()
+        assert span == 250.0
+        assert sched.utilization(span) == pytest.approx([1.0, 1.0])
+        # Doubling the window halves the busy fraction, per channel.
+        assert sched.utilization(2 * span) == pytest.approx([0.5, 0.5])
+
+
+class TestQueueingStatsSerialization:
+    def _empty_stats(self):
+        return QueueingStats(
+            queue_depth=4, channels=2, planes=2, span_us=0.0,
+            queue_delay=LatencyHistogram("queue_delay_us"),
+            service_latency=LatencyHistogram("service_latency_us"),
+            channel_busy_us=[0.0, 0.0])
+
+    def test_pickle_round_trip_with_empty_histograms(self):
+        # A worker that admitted zero requests still pickles its stats
+        # back to the parent; empty histograms must survive the trip.
+        stats = self._empty_stats()
+        clone = pickle.loads(pickle.dumps(stats))
+        assert clone.queue_depth == 4
+        assert clone.span_us == 0.0
+        assert clone.queue_delay.count == 0
+        assert clone.queue_delay.percentile(99.0) == 0.0
+        assert clone.mean_queue_delay_us == 0.0
+        assert clone.channel_utilization() == [0.0, 0.0]
+
+    def test_merge_empty_into_populated_is_identity(self):
+        populated = LatencyHistogram("queue_delay_us")
+        for value in (10.0, 200.0, 3000.0):
+            populated.observe(value)
+        before = populated.__getstate__()
+        populated.merge(LatencyHistogram("queue_delay_us"))
+        assert populated.__getstate__() == before
+
+    def test_merge_populated_into_empty_adopts_everything(self):
+        populated = LatencyHistogram("queue_delay_us")
+        for value in (10.0, 200.0, 3000.0):
+            populated.observe(value)
+        empty = LatencyHistogram("queue_delay_us")
+        empty.merge(populated)
+        assert empty.count == populated.count
+        assert empty.mean == populated.mean
+        assert empty.percentile(99.0) == populated.percentile(99.0)
+
+    def test_merge_rejects_mismatched_edges(self):
+        ours = LatencyHistogram("a", edges=(1.0, 2.0))
+        theirs = LatencyHistogram("a", edges=(1.0, 4.0))
+        with pytest.raises(ValueError):
+            ours.merge(theirs)
+
 
 class TestOpCapture:
     def test_capture_reads_programs_erases(self):
@@ -192,6 +261,19 @@ class TestCompatMode:
     def test_byte_identical_report(self, workload):
         serial = run_trace(_system(), _trace(workload))
         compat = run_trace_concurrent(_system(), _trace(workload),
+                                      queue_depth=1, channels=1, planes=1)
+        assert asdict(serial) == asdict(compat)
+        assert compat.queueing is None
+
+    def test_byte_identical_on_post_pdc_disk_trace(self):
+        # Third workload shape: the post-PDC disk-level stream (reads
+        # that missed the page cache plus dirty write-backs) has a very
+        # different read/write mix than the application traces, and is
+        # exactly what the Flash tier sees in the paper's hierarchy.
+        disk_trace = derive_disk_trace(_trace("dbt2"), pdc_pages=512)
+        assert disk_trace  # the filter must leave a real stream behind
+        serial = run_trace(_system(), disk_trace)
+        compat = run_trace_concurrent(_system(), disk_trace,
                                       queue_depth=1, channels=1, planes=1)
         assert asdict(serial) == asdict(compat)
         assert compat.queueing is None

@@ -457,6 +457,29 @@ class TestRunSweepResume:
         with pytest.raises(ValueError, match="requires a journal path"):
             run_sweep(figures=self.FIGS, scale=self.SCALE, resume=True)
 
+    def test_figure_selection_is_order_insensitive(self, tmp_path):
+        # ISSUE 8 satellite: ``--figures fig7,fig1b --resume`` must
+        # accept a journal written by ``--figures fig1b,fig7``.  The
+        # selection is a set; spelling order must not change the
+        # sweep_id, the flattened grid, or the output document.
+        path = str(tmp_path / "sweep.jsonl")
+        forward = run_sweep(figures=["fig1b", "fig7"], scale=self.SCALE,
+                            journal_path=path)
+        resumed = run_sweep(figures=["fig7", "fig1b"], scale=self.SCALE,
+                            journal_path=path, resume=True)
+        assert resumed["meta"]["sweep_id"] == forward["meta"]["sweep_id"]
+        assert resumed["meta"]["resumed_tasks"] == \
+            resumed["meta"]["tasks"]
+        assert _figures_bytes(forward) == _figures_bytes(resumed)
+
+    def test_duplicate_figures_are_deduplicated(self):
+        # A repeated name used to flatten the same grid twice and die on
+        # the runner's duplicate-key check; now it is one selection.
+        once = run_sweep(figures=["fig1b"], scale=self.SCALE)
+        doubled = run_sweep(figures=["fig1b", "fig1b"], scale=self.SCALE)
+        assert _figures_bytes(once) == _figures_bytes(doubled)
+        assert doubled["meta"]["tasks"] == once["meta"]["tasks"]
+
 
 # ---------------------------------------------------------------------------
 # Parent SIGKILL chaos: kill ``repro sweep`` mid-run, resume via the CLI
