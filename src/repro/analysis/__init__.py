@@ -33,8 +33,11 @@ from .engine import (
     Project,
     Rule,
 )
-from .reporters import render_json, render_text
+from .reporters import render_json, render_sarif, render_text
 from .rules import RULES, all_rules
+from .callgraph import CallGraph, Edge
+from .dataflow import WholeProgramAnalysis
+from .symbols import Symbol, SymbolTable
 
 __all__ = [
     "Finding",
@@ -52,6 +55,12 @@ __all__ = [
     "apply_baseline",
     "render_text",
     "render_json",
+    "render_sarif",
+    "Symbol",
+    "SymbolTable",
+    "CallGraph",
+    "Edge",
+    "WholeProgramAnalysis",
 ]
 
 

@@ -3,14 +3,25 @@
 Exit status: 0 when no error-severity findings remain after pragma and
 baseline suppression (warnings report but do not fail unless
 ``--strict``); 1 when errors remain; 2 on usage errors.
+
+Whole-program extras (DESIGN.md section 16):
+
+* ``--graph-out PATH`` dumps the resolved call graph as JSON;
+* ``--why RULE:path[:line]`` prints the call chain behind a finding;
+* ``--changed`` scopes the report to git-changed files plus their
+  call-graph neighbours (the analysis still runs whole-program — only
+  the report is filtered, so cross-file findings stay sound);
+* ``--format sarif`` emits SARIF 2.1.0 for GitHub code scanning.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
+import subprocess
 import sys
 from pathlib import Path
-from typing import List, Optional
+from typing import List, Optional, Set
 
 from ..atomicio import atomic_write_text
 from .baseline import (
@@ -19,17 +30,20 @@ from .baseline import (
     load_baseline,
     write_baseline,
 )
-from .engine import LintEngine
-from .reporters import render_json, render_text
+from .engine import Finding, LintEngine, LintResult
+from .reporters import render_json, render_sarif, render_text
 from .rules import all_rules
 
 __all__ = ["add_lint_arguments", "run_lint_command", "main"]
+
+_RENDERERS = {"text": render_text, "json": render_json,
+              "sarif": render_sarif}
 
 
 def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
     parser.add_argument("paths", nargs="*", default=["src"],
                         help="files or directories to lint (default: src)")
-    parser.add_argument("--format", choices=("text", "json"),
+    parser.add_argument("--format", choices=("text", "json", "sarif"),
                         default="text", help="output format")
     parser.add_argument("--out", default=None, metavar="PATH",
                         help="write the report here instead of stdout")
@@ -42,11 +56,85 @@ def add_lint_arguments(parser: argparse.ArgumentParser) -> None:
                         const=DEFAULT_BASELINE, default=None,
                         metavar="PATH",
                         help="record the current findings as the new "
-                             "baseline and exit 0")
+                             "baseline (refused when --strict would "
+                             "fail the same invocation)")
     parser.add_argument("--strict", action="store_true",
                         help="treat warnings as failures")
+    parser.add_argument("--changed", action="store_true",
+                        help="report only findings in git-changed files "
+                             "and their call-graph neighbours")
+    parser.add_argument("--graph-out", default=None, metavar="PATH",
+                        help="dump the whole-program call graph as JSON")
+    parser.add_argument("--why", default=None, metavar="RULE:PATH[:LINE]",
+                        help="print the call chain behind one finding "
+                             "and exit")
     parser.add_argument("--list-rules", action="store_true",
                         help="print the rule battery and exit")
+
+
+def _changed_files(root: Path) -> Optional[Set[str]]:
+    """Repo-relative posix paths of modified + untracked .py files."""
+    changed: Set[str] = set()
+    for args in (["git", "diff", "--name-only", "HEAD"],
+                 ["git", "ls-files", "--others", "--exclude-standard"]):
+        proc = subprocess.run(args, cwd=root, capture_output=True,
+                              text=True)
+        if proc.returncode != 0:
+            return None
+        changed.update(line.strip() for line in proc.stdout.splitlines()
+                       if line.strip().endswith(".py"))
+    return changed
+
+
+def _changed_scope(result: LintResult, changed: Set[str]) -> Set[str]:
+    """Changed files plus every file one call edge away."""
+    scope = set(changed)
+    if result.project is None:
+        return scope
+    analysis = result.project.analysis()
+    path_of = {qualname: symbol.path
+               for qualname, symbol in analysis.symbols.functions.items()}
+    for edge in analysis.graph.edges:
+        caller_path = edge.path
+        callee_path = path_of.get(edge.callee)
+        if callee_path is None:
+            continue
+        if caller_path in scope:
+            scope.add(callee_path)
+        if callee_path in scope:
+            scope.add(caller_path)
+    return scope
+
+
+def _explain(findings: List[Finding], spec: str) -> int:
+    """``--why RULE:path[:line]``: print the matching finding's chain."""
+    parts = spec.split(":")
+    if len(parts) < 2:
+        print("simlint: --why expects RULE:path[:line]", file=sys.stderr)
+        return 2
+    rule = parts[0]
+    line: Optional[int] = None
+    if parts[-1].isdigit():
+        line = int(parts[-1])
+        path = ":".join(parts[1:-1])
+    else:
+        path = ":".join(parts[1:])
+    matches = [f for f in findings
+               if f.rule == rule and f.path == path
+               and (line is None or f.line == line)]
+    if not matches:
+        print(f"simlint: no live finding matches {spec} (pragma'd or "
+              "baselined findings have no --why)", file=sys.stderr)
+        return 2
+    for finding in matches:
+        print(f"{finding.path}:{finding.line}:{finding.col} "
+              f"{finding.rule} {finding.severity}: {finding.message}")
+        if finding.chain:
+            for index, hop in enumerate(finding.chain):
+                print(f"  [{index}] {hop}")
+        else:
+            print("  (file-local finding; no call chain)")
+    return 0
 
 
 def run_lint_command(args: argparse.Namespace) -> int:
@@ -62,31 +150,65 @@ def run_lint_command(args: argparse.Namespace) -> int:
     if missing:
         print(f"simlint: no such path: {missing[0]}", file=sys.stderr)
         return 2
-    engine = LintEngine(rules, root=Path.cwd())
+    root = Path.cwd()
+    engine = LintEngine(rules, root=root)
     result = engine.run(paths)
     findings = result.findings
     suppressed = result.suppressed
 
-    if args.write_baseline is not None:
-        entries = write_baseline(Path(args.write_baseline), findings)
-        print(f"simlint: wrote {entries} baseline entries to "
-              f"{args.write_baseline}")
-        return 0
+    if args.graph_out is not None and result.project is not None:
+        graph = result.project.analysis().graph
+        atomic_write_text(args.graph_out,
+                          json.dumps(graph.as_dict(), indent=2,
+                                     sort_keys=True) + "\n")
+        print(f"simlint: wrote call graph ({len(graph.edges)} edges, "
+              f"{graph.resolution_rate:.1%} resolved) to "
+              f"{args.graph_out}")
+
+    if args.changed:
+        changed = _changed_files(root)
+        if changed is None:
+            print("simlint: --changed needs a git work tree",
+                  file=sys.stderr)
+            return 2
+        scope = _changed_scope(result, changed)
+        findings = [f for f in findings if f.path in scope]
+        print(f"simlint: --changed scope: {len(changed)} changed "
+              f"files, {len(scope)} with neighbours")
+
+    if args.why is not None:
+        return _explain(findings, args.why)
 
     if args.baseline is not None:
         baseline = load_baseline(Path(args.baseline))
         findings, baselined = apply_baseline(findings, baseline)
         suppressed += baselined
 
-    renderer = render_json if args.format == "json" else render_text
+    failing = [f for f in findings
+               if f.severity == "error" or args.strict]
+
+    if args.write_baseline is not None:
+        if failing and args.strict:
+            # The old behaviour wrote the baseline before --strict got a
+            # say, silently grandfathering the very findings the flag
+            # was meant to gate on.  Only a clean run may rewrite it.
+            print(f"simlint: NOT writing baseline: {len(failing)} "
+                  "finding(s) fail --strict; fix or pragma them first",
+                  file=sys.stderr)
+            return 1
+        entries = write_baseline(Path(args.write_baseline),
+                                 result.findings)
+        print(f"simlint: wrote {entries} baseline entries to "
+              f"{args.write_baseline}")
+        return 0
+
+    renderer = _RENDERERS[args.format]
     report = renderer(findings, result.files, suppressed)
     if args.out is not None:
         atomic_write_text(args.out, report + "\n")
     else:
         print(report)
 
-    failing = [f for f in findings
-               if f.severity == "error" or args.strict]
     return 1 if failing else 0
 
 

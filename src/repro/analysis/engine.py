@@ -73,6 +73,13 @@ class Finding:
     line: int
     col: int
     message: str
+    #: Interprocedural findings carry the call chain that produced
+    #: them, entry point first, taint source last (``lint --why``).
+    chain: Tuple[str, ...] = ()
+    #: Extra lines a pragma may sit on and still suppress this finding
+    #: (decorator lines of a flagged def, the body of a multi-line
+    #: call).  ``(0, 0)`` means "just the finding line".
+    span: Tuple[int, int] = (0, 0)
 
     @property
     def baseline_key(self) -> Tuple[str, str, str]:
@@ -83,8 +90,15 @@ class Finding:
         """
         return (self.rule, self.path, self.message)
 
+    @property
+    def pragma_lines(self) -> Tuple[int, int]:
+        start, end = self.span
+        if start <= 0:
+            return (self.line, self.line)
+        return (min(start, self.line), max(end, self.line))
+
     def as_dict(self) -> Dict[str, object]:
-        return {
+        document: Dict[str, object] = {
             "rule": self.rule,
             "severity": self.severity,
             "path": self.path,
@@ -92,6 +106,9 @@ class Finding:
             "col": self.col,
             "message": self.message,
         }
+        if self.chain:
+            document["chain"] = list(self.chain)
+        return document
 
 
 def module_name_for_path(path: Path) -> str:
@@ -124,9 +141,12 @@ def _parent_package(module: str) -> str:
 class _ImportMap:
     """Alias -> qualified-name table for one module."""
 
-    def __init__(self, tree: ast.Module, module: str) -> None:
+    def __init__(self, tree: ast.Module, module: str,
+                 is_package: bool = False) -> None:
         self.aliases: Dict[str, str] = {}
-        package = _parent_package(module)
+        # Relative imports in a package's __init__ resolve against the
+        # package itself, not its parent.
+        package = module if is_package else _parent_package(module)
         for node in ast.walk(tree):
             if isinstance(node, ast.Import):
                 for item in node.names:
@@ -186,6 +206,8 @@ class ModuleContext:
     imports: _ImportMap
     #: line -> set of suppressed rule codes ("*" suppresses all).
     pragmas: Dict[int, Set[str]] = field(default_factory=dict)
+    #: (comment line, code) per pragma mention, for unknown-id checks.
+    pragma_mentions: List[Tuple[int, str]] = field(default_factory=list)
     skip_file: bool = False
 
     @classmethod
@@ -199,7 +221,8 @@ class ModuleContext:
             relpath = str(path)
         ctx = cls(path=path, relpath=relpath.replace("\\", "/"),
                   module=module, source=source, tree=tree,
-                  imports=_ImportMap(tree, module))
+                  imports=_ImportMap(tree, module,
+                                     is_package=path.name == "__init__.py"))
         ctx._scan_pragmas()
         _annotate_parents(tree)
         return ctx
@@ -224,15 +247,18 @@ class ModuleContext:
             text_before = lines[line - 1][: tok.start[1]].strip() \
                 if line - 1 < len(lines) else ""
             self.pragmas.setdefault(line, set()).update(codes)
+            self.pragma_mentions.extend((line, code) for code in codes)
             if not text_before:
                 # Standalone pragma comment: applies to the next code line.
                 self.pragmas.setdefault(line + 1, set()).update(codes)
 
     def suppressed(self, finding: Finding) -> bool:
-        codes = self.pragmas.get(finding.line)
-        if not codes:
-            return False
-        return finding.rule in codes or "*" in codes
+        start, end = finding.pragma_lines
+        for line in range(start, end + 1):
+            codes = self.pragmas.get(line)
+            if codes and (finding.rule in codes or "*" in codes):
+                return True
+        return False
 
     def in_packages(self, prefixes: Sequence[str]) -> bool:
         return any(self.module == p or self.module.startswith(p + ".")
@@ -277,6 +303,19 @@ class Project:
                 return ctx
         return None
 
+    def analysis(self) -> "object":
+        """The cached whole-program analysis (symbols + call graph).
+
+        Built lazily on first use and shared by every graph-based rule
+        of the run; see :mod:`repro.analysis.dataflow`.
+        """
+        cached = getattr(self, "_analysis", None)
+        if cached is None:
+            from .dataflow import WholeProgramAnalysis
+            cached = WholeProgramAnalysis(self)
+            object.__setattr__(self, "_analysis", cached)
+        return cached
+
 
 class Rule:
     """Base class for simlint rules.
@@ -302,12 +341,26 @@ class Rule:
     # -- helpers shared by concrete rules -------------------------------------
 
     def finding(self, ctx: ModuleContext, node: ast.AST,
-                message: str) -> Finding:
+                message: str,
+                chain: Sequence[str] = ()) -> Finding:
+        line = getattr(node, "lineno", 1)
+        span = (line, line)
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef,
+                             ast.ClassDef)):
+            # A pragma on (or above) the first decorator still covers a
+            # finding anchored on the def line.
+            if node.decorator_list:
+                span = (node.decorator_list[0].lineno, line)
+        else:
+            # Multi-line calls: a pragma anywhere in the expression's
+            # extent counts.
+            end = getattr(node, "end_lineno", None)
+            if isinstance(end, int) and end > line:
+                span = (line, end)
         return Finding(rule=self.code, severity=self.severity,
-                       path=ctx.relpath,
-                       line=getattr(node, "lineno", 1),
+                       path=ctx.relpath, line=line,
                        col=getattr(node, "col_offset", 0),
-                       message=message)
+                       message=message, chain=tuple(chain), span=span)
 
 
 def iter_python_files(paths: Iterable[Path]) -> Iterator[Path]:
@@ -331,6 +384,8 @@ class LintResult:
     findings: List[Finding]
     suppressed: int
     files: int
+    #: The parsed project, for --graph-out/--why/--changed consumers.
+    project: Optional[Project] = None
 
     @property
     def errors(self) -> List[Finding]:
@@ -367,10 +422,19 @@ class LintEngine:
             modules.append(ctx)
 
         raw: List[Tuple[ModuleContext, Finding]] = []
+        known_codes = {rule.code for rule in self.rules} | {"*", "SIM000"}
         for ctx in modules:
             for rule in self.rules:
                 for finding in rule.check_module(ctx):
                     raw.append((ctx, finding))
+            for line, code in ctx.pragma_mentions:
+                if code not in known_codes:
+                    raw.append((ctx, Finding(
+                        rule="SIM000", severity="warning",
+                        path=ctx.relpath, line=line, col=0,
+                        message=(f"pragma references unknown rule id "
+                                 f"{code!r}; it suppresses nothing — "
+                                 "fix the id or drop the pragma"))))
         project = Project(modules=modules)
         ctx_by_path = {ctx.relpath: ctx for ctx in modules}
         for rule in self.rules:
@@ -385,4 +449,4 @@ class LintEngine:
                 findings.append(finding)
         findings.sort(key=lambda f: (f.path, f.line, f.col, f.rule))
         return LintResult(findings=findings, suppressed=suppressed,
-                          files=len(modules))
+                          files=len(modules), project=project)

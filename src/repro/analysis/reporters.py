@@ -1,14 +1,22 @@
-"""Finding renderers: human text and machine JSON."""
+"""Finding renderers: human text, machine JSON, and SARIF 2.1.0.
+
+The SARIF document is the GitHub code-scanning interchange shape: one
+run, one ``tool.driver`` carrying the full rule catalog, one ``result``
+per finding with a physical location.  Interprocedural findings embed
+their call chain as related locations so the code-scanning UI can show
+the path a taint took.
+"""
 
 from __future__ import annotations
 
 import json
+import re
 from collections import Counter
 from typing import Dict, List
 
 from .engine import Finding
 
-__all__ = ["render_text", "render_json"]
+__all__ = ["render_text", "render_json", "render_sarif"]
 
 
 def render_text(findings: List[Finding], files: int,
@@ -42,5 +50,79 @@ def render_json(findings: List[Finding], files: int,
             "by_rule": by_rule,
         },
         "findings": [f.as_dict() for f in findings],
+    }
+    return json.dumps(document, indent=2, sort_keys=True)
+
+
+_CHAIN_HOP_RE = re.compile(r"^(?P<path>[^:]+):(?P<line>\d+): (?P<what>.*)$")
+
+
+def _sarif_location(path: str, line: int, col: int,
+                    message: str = "") -> Dict[str, object]:
+    location: Dict[str, object] = {
+        "physicalLocation": {
+            "artifactLocation": {"uri": path,
+                                 "uriBaseId": "%SRCROOT%"},
+            "region": {"startLine": max(line, 1),
+                       "startColumn": max(col, 0) + 1},
+        },
+    }
+    if message:
+        location["message"] = {"text": message}
+    return location
+
+
+def render_sarif(findings: List[Finding], files: int,
+                 suppressed: int) -> str:
+    """A SARIF 2.1.0 document for GitHub code scanning."""
+    from .rules import all_rules
+
+    driver_rules: List[Dict[str, object]] = [{
+        "id": "SIM000",
+        "name": "engine-diagnostic",
+        "shortDescription": {"text": "simlint engine diagnostic "
+                                     "(syntax error, unknown pragma id)"},
+        "defaultConfiguration": {"level": "warning"},
+    }]
+    for rule in all_rules():
+        driver_rules.append({
+            "id": rule.code,
+            "name": rule.name,
+            "shortDescription": {"text": rule.description},
+            "defaultConfiguration": {
+                "level": "error" if rule.severity == "error"
+                else "warning"},
+        })
+
+    results: List[Dict[str, object]] = []
+    for finding in findings:
+        result: Dict[str, object] = {
+            "ruleId": finding.rule,
+            "level": finding.severity,
+            "message": {"text": finding.message},
+            "locations": [_sarif_location(finding.path, finding.line,
+                                          finding.col)],
+        }
+        related: List[Dict[str, object]] = []
+        for hop in finding.chain:
+            match = _CHAIN_HOP_RE.match(hop)
+            if match is not None:
+                related.append(_sarif_location(
+                    match.group("path"), int(match.group("line")), 0,
+                    match.group("what")))
+        if related:
+            result["relatedLocations"] = related
+        results.append(result)
+
+    document = {
+        "$schema": "https://json.schemastore.org/sarif-2.1.0.json",
+        "version": "2.1.0",
+        "runs": [{
+            "tool": {"driver": {
+                "name": "simlint",
+                "rules": driver_rules,
+            }},
+            "results": results,
+        }],
     }
     return json.dumps(document, indent=2, sort_keys=True)

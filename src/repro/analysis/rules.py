@@ -1,9 +1,12 @@
-"""The simlint rule battery (SIM001..SIM009).
+"""The simlint rule battery (SIM001..SIM010, plus graph rules).
 
 Each rule encodes one invariant the simulator's determinism, spawn
 safety, or bookkeeping depends on.  DESIGN.md section 10 documents the
 rationale and the incidents behind them (notably PR 3's fig9 seed drift,
-which SIM002/SIM003 exist to make unrepresentable).
+which SIM002/SIM003 exist to make unrepresentable); section 16 covers
+the whole-program layer — SIM001/SIM002/SIM004/SIM010 gain
+interprocedural ``finalize`` passes here, and the graph-native rules
+SIM011..SIM013 live in :mod:`repro.analysis.rules_graph`.
 
 Adding a rule: subclass :class:`~repro.analysis.engine.Rule`, set
 ``code``/``name``/``severity``/``description``, implement
@@ -71,6 +74,24 @@ def _last_segment(qualified: str) -> str:
     return qualified.rsplit(".", 1)[-1]
 
 
+def _enclosing_qualname(analysis, ctx: ModuleContext,
+                        node: ast.AST) -> Optional[str]:
+    """Qualname of the function/method whose body contains *node*."""
+    fn = enclosing_function(node)
+    if fn is None:
+        return None
+    cursor = node_parent(fn)
+    while cursor is not None:
+        parent, _ = cursor
+        if isinstance(parent, ast.ClassDef):
+            return f"{ctx.module}.{parent.name}.{fn.name}"
+        if isinstance(parent, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            # Nested function: attribute to the enclosing symbol.
+            return _enclosing_qualname(analysis, ctx, fn)
+        cursor = node_parent(parent)
+    return f"{ctx.module}.{fn.name}"
+
+
 # ---------------------------------------------------------------------------
 # SIM001 — wall clock
 # ---------------------------------------------------------------------------
@@ -103,7 +124,35 @@ class WallClockRule(Rule):
     description = ("wall-clock reads (time.time, datetime.now, "
                    "perf_counter, ...) are forbidden in simulation "
                    "packages and must be pragma'd as orchestration "
-                   "timing elsewhere")
+                   "timing elsewhere; sweep entry points "
+                   "(run_shard/run_cluster) may not reach one "
+                   "transitively either")
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        """Whole-program extension: entry points stay clock-free.
+
+        ``run_shard``/``run_cluster`` are the result-bearing spines of
+        the cluster experiments; any *unpragma'd* wall-clock read (or
+        ``advance_clock`` call) in their transitive call tree would make
+        results depend on host speed.  Direct reads in the entry's own
+        body are the file-local check's job, so chains start at depth 1;
+        a pragma at the source kills the taint — it is the review
+        record, not a loophole.
+        """
+        analysis = project.analysis()
+        for entry in analysis.cluster_entry_points():
+            trace = analysis.trace(
+                entry,
+                lambda s: analysis.time_sources(s, codes=("SIM001",)),
+                min_depth=1)
+            if trace is None:
+                continue
+            yield self.finding(
+                entry.ctx, entry.node,
+                f"{entry.name}() reaches {trace.source.detail} "
+                f"({trace.source.kind}) via {trace.summary()}; "
+                "simulated results must not depend on the host clock",
+                chain=trace.chain())
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         hard = ctx.in_packages(SIM_TIME_PACKAGES)
@@ -170,6 +219,54 @@ class RngSeedRule(Rule):
                    "parameter or parallel.derive_seed; no global-state "
                    "random functions, no module-level RNGs, no ad-hoc "
                    "seed arithmetic")
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        """Whole-program extension: cross-module seed provenance.
+
+        The file-local check sees ``Random(seed * 31)``; this pass sees
+        ``Random(shifted(seed))`` where ``shifted`` lives two modules
+        away and returns the same ad-hoc arithmetic — the fig9 bug
+        shape, laundered through a helper.  Helper detection and call
+        resolution both ride on the project call graph.
+        """
+        analysis = project.analysis()
+        helpers = analysis.seed_arith_helpers()
+        if not helpers:
+            return
+        from .dataflow import Trace
+        for ctx in project.modules:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node, ctx)
+                if name not in _RNG_CONSTRUCTORS:
+                    continue
+                seed_arg = node.args[0] if node.args else (
+                    node.keywords[0].value if node.keywords else None)
+                if not isinstance(seed_arg, ast.Call):
+                    continue
+                target = analysis.symbols.resolve_expr(ctx, seed_arg.func)
+                if target is None or target.qualname not in helpers:
+                    continue
+                source = helpers[target.qualname]
+                edges = tuple(
+                    e for e in analysis.graph.out.get(
+                        _enclosing_qualname(analysis, ctx, node) or "", ())
+                    if e.callee == target.qualname
+                    and e.line == seed_arg.lineno)
+                root = analysis.symbols.functions.get(
+                    _enclosing_qualname(analysis, ctx, node) or "")
+                chain: Tuple[str, ...] = ()
+                if root is not None:
+                    chain = Trace(root=root, edges=edges,
+                                  source=source).chain()
+                yield self.finding(
+                    ctx, node,
+                    f"{_last_segment(name)}(...) seeded from "
+                    f"{target.qualname}(), which {source.detail}; "
+                    "ad-hoc seed arithmetic hides stream collisions — "
+                    "use parallel.derive_seed(base, key)",
+                    chain=chain)
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         for node in ast.walk(ctx.tree):
@@ -336,6 +433,64 @@ class PicklableTaskRule(Rule):
     description = ("SweepTask payloads must be picklable: fn must be a "
                    "module-level callable and no lambdas/closures/bound "
                    "methods may ride in the task")
+
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        """Whole-program extension: transitively unpicklable payloads.
+
+        A payload value built by calling a helper that *returns* a
+        lambda, nested function, open file handle, or EventLoop is just
+        as unpicklable as writing the lambda inline — but the file-local
+        check cannot see through the call.  Helper poisoning is
+        transitive (``return make_cb()`` forwards it), computed once on
+        the project graph.
+        """
+        analysis = project.analysis()
+        poisoned = analysis.unpicklable_returns()
+        if not poisoned:
+            return
+        from .dataflow import Trace
+        for ctx in project.modules:
+            for node in ast.walk(ctx.tree):
+                if not isinstance(node, ast.Call):
+                    continue
+                name = _call_name(node, ctx)
+                target = name if name is not None else self._bare_name(node)
+                if target is None or _last_segment(target) != "SweepTask":
+                    continue
+                for value in self._payload_values(node):
+                    if not isinstance(value, ast.Call):
+                        continue
+                    helper = analysis.symbols.resolve_expr(
+                        ctx, value.func)
+                    if helper is None or helper.qualname not in poisoned:
+                        continue
+                    source = poisoned[helper.qualname]
+                    root = analysis.symbols.functions.get(
+                        _enclosing_qualname(analysis, ctx, node) or "")
+                    chain: Tuple[str, ...] = ()
+                    if root is not None:
+                        chain = Trace(root=root, edges=(),
+                                      source=source).chain()
+                    yield self.finding(
+                        ctx, value,
+                        f"SweepTask payload calls {helper.qualname}(), "
+                        f"which {source.detail}; the task cannot cross "
+                        "a process boundary — ship plain data and "
+                        "rebuild the object worker-side",
+                        chain=chain)
+
+    @staticmethod
+    def _payload_values(task: ast.Call) -> Iterator[ast.expr]:
+        """Expressions that ride inside a SweepTask's kwargs payload."""
+        payload: List[ast.expr] = list(task.args[2:])
+        for kw in task.keywords:
+            if kw.arg != "fn":
+                payload.append(kw.value)
+        for value in payload:
+            if isinstance(value, ast.Dict):
+                yield from value.values
+            else:
+                yield value
 
     def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
         nested = self._nested_function_names(ctx.tree)
@@ -837,7 +992,10 @@ class AtomicWriteRule(Rule):
 # SIM010 — event-loop time discipline
 # ---------------------------------------------------------------------------
 
-_EVENT_LOOP_PACKAGE = "repro.sim"
+#: Packages whose modules register handlers on the simulated event
+#: loop — repro.sim owns the engine, repro.cluster's shard engine
+#: reuses it.
+_EVENT_LOOP_PACKAGES = ("repro.sim", "repro.cluster")
 _CLOCK_ATTRS = ("clock_us", "now_us")
 
 
@@ -865,8 +1023,36 @@ class EventHandlerTimeRule(Rule):
                    "writes to clock_us/now_us attributes inside "
                    "registered handlers")
 
+    def finalize(self, project: Project) -> Iterator[Finding]:
+        """Whole-program extension: handlers' *callees* stay time-clean.
+
+        The file-local check inspects a handler's own body; this pass
+        resolves every registered handler project-wide (including
+        ``self._on_x`` methods registered from another module) and walks
+        its transitive callees for wall-clock reads, ``advance_clock``
+        calls, and clock-attribute writes.  Chains start at depth 1 so
+        direct violations stay with the file-local check; pragma'd
+        sources are reviewed decisions and do not taint.
+        """
+        analysis = project.analysis()
+        for handler in analysis.event_handlers(_EVENT_LOOP_PACKAGES):
+            trace = analysis.trace(
+                handler,
+                lambda s: analysis.time_sources(s, codes=("SIM010",
+                                                          "SIM001")),
+                min_depth=1)
+            if trace is None:
+                continue
+            yield self.finding(
+                handler.ctx, handler.node,
+                f"event handler {handler.name}() reaches "
+                f"{trace.source.detail} ({trace.source.kind}) via "
+                f"{trace.summary()}; handlers take time from "
+                "loop.now_us only — model latency as event delays",
+                chain=trace.chain())
+
     def check_module(self, ctx: ModuleContext) -> Iterator[Finding]:
-        if not ctx.in_packages((_EVENT_LOOP_PACKAGE,)):
+        if not ctx.in_packages(_EVENT_LOOP_PACKAGES):
             return
         handlers = self._handler_names(ctx.tree)
         if not handlers:
@@ -935,3 +1121,8 @@ class EventHandlerTimeRule(Rule):
                             f"handler {func.name}(): handlers must not "
                             "advance clocks directly — post an event "
                             "at the target time instead")
+
+
+# The graph-based rules register themselves on import; keep this at the
+# bottom so ``register`` and ``RULES`` exist when the module loads.
+from . import rules_graph as _rules_graph  # noqa: E402,F401  (registration import)

@@ -34,7 +34,7 @@ from __future__ import annotations
 from dataclasses import asdict, dataclass, field
 from typing import Any, Callable, Dict, List, Optional, Sequence
 
-from ..parallel import SweepTask, merge_telemetry, sweep
+from ..parallel import SweepResult, SweepTask, merge_telemetry, sweep
 from ..telemetry import LatencyHistogram, Telemetry
 from .arrivals import ARRIVAL_PATTERNS, Arrival, build_arrivals
 from .ring import HashRing
@@ -260,11 +260,15 @@ def _run_stage(scenario: ClusterScenario, stage: str, shard_ids: List[int],
                   "shards": list(shard_ids)})
     tasks = [_shard_task(scenario, shard_id, substreams[shard_id],
                          kill_at_us) for shard_id in shard_ids]
-    stage_progress = None
+    stage_progress: Optional[Callable[[SweepResult, int, int], None]] = None
     if progress is not None:
-        def stage_progress(result, done, total):
-            progress({"kind": "shard", "stage": stage, "key": result.key,
+        callback = progress
+
+        def _stage_progress(result: SweepResult, done: int,
+                            total: int) -> None:
+            callback({"kind": "shard", "stage": stage, "key": result.key,
                       "ok": result.ok, "done": done, "total": total})
+        stage_progress = _stage_progress
     results = sweep(tasks, workers=workers, progress=stage_progress)
     return {shard_id: result.unwrap()
             for shard_id, result in zip(shard_ids, results)}

@@ -31,7 +31,8 @@ def _point(text: str) -> int:
 class HashRing:
     """Deterministic consistent-hash ring over integer shard ids."""
 
-    def __init__(self, shard_ids: Sequence[int], vnodes: int = 64):
+    def __init__(self, shard_ids: Sequence[int],
+                 vnodes: int = 64) -> None:
         if not shard_ids:
             raise ValueError("ring needs at least one shard")
         if len(set(shard_ids)) != len(shard_ids):

@@ -28,7 +28,8 @@ __all__ = ["ClusterService", "serve"]
 class ClusterService:
     """Run one cluster scenario with live progress streaming."""
 
-    def __init__(self, scenario: ClusterScenario, workers: int = 1):
+    def __init__(self, scenario: ClusterScenario,
+                 workers: int = 1) -> None:
         self.scenario = scenario
         self.workers = workers
 

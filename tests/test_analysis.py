@@ -88,7 +88,7 @@ class TestEngine:
         assert findings == []
 
     def test_rule_registry_is_complete(self):
-        assert sorted(RULES) == [f"SIM{n:03d}" for n in range(1, 11)]
+        assert sorted(RULES) == [f"SIM{n:03d}" for n in range(1, 14)]
         for code, cls in RULES.items():
             assert cls.description, code
             assert cls.severity in ("error", "warning")
@@ -868,6 +868,434 @@ class TestSim010EventHandlerTime:
 
 
 # ---------------------------------------------------------------------------
+# SIM011 — blocking calls reachable from async defs
+# ---------------------------------------------------------------------------
+
+
+class TestSim011AsyncBlocking:
+    def test_fires_transitively(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/cluster/svc.py", """
+            import time
+
+            def step():
+                time.sleep(0.5)
+
+            async def serve():
+                step()
+            """)
+        sim011 = [f for f in findings if f.rule == "SIM011"]
+        assert len(sim011) == 1
+        finding = sim011[0]
+        assert "time.sleep" in finding.message
+        assert "serve" in finding.message
+        assert finding.severity == "error"
+        # The chain walks entry -> callee -> source.
+        assert any("calls" in hop for hop in finding.chain)
+        assert "time.sleep" in finding.chain[-1]
+
+    def test_near_miss_executor_lambda(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/cluster/svc2.py", """
+            import asyncio
+            import time
+
+            def step():
+                time.sleep(0.5)
+
+            async def serve():
+                loop = asyncio.get_running_loop()
+                await loop.run_in_executor(None, lambda: step())
+            """)
+        assert "SIM011" not in codes(findings)
+
+    def test_near_miss_sync_def(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/cluster/svc3.py", """
+            import time
+
+            def step():
+                time.sleep(0.5)
+
+            def serve():
+                step()
+            """)
+        assert "SIM011" not in codes(findings)
+
+    def test_near_miss_outside_cluster(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/svc4.py", """
+            import time
+
+            async def serve():
+                time.sleep(0.5)
+            """)
+        assert "SIM011" not in codes(findings)
+
+    def test_pragma_at_source_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/cluster/svc5.py", """
+            import time
+
+            def step():
+                time.sleep(0.5)  # simlint: ignore[SIM011] -- startup backoff, reviewed
+
+            async def serve():
+                step()
+            """)
+        assert "SIM011" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# SIM012 — set iteration order escaping into output paths
+# ---------------------------------------------------------------------------
+
+
+class TestSim012SetOrderEscape:
+    def test_fires_on_sink_iterating_helper_set(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/telemetry/export.py", """
+            def hot_keys():
+                return {1, 2, 3}
+
+            def write_keys(out):
+                for key in hot_keys():
+                    out.write(str(key))
+            """)
+        sim012 = [f for f in findings if f.rule == "SIM012"]
+        assert len(sim012) == 1
+        assert "hot_keys" in sim012[0].message
+        assert "sorted" in sim012[0].message
+        assert sim012[0].chain
+
+    def test_fires_through_local_variable(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/cluster/feed.py", """
+            def live_shards():
+                return set([1, 2])
+
+            def render_feed(out):
+                shards = live_shards()
+                return [str(s) for s in shards]
+            """)
+        assert "SIM012" in codes(findings)
+
+    def test_near_miss_sorted_clears(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/telemetry/export.py", """
+            def hot_keys():
+                return {1, 2, 3}
+
+            def write_keys(out):
+                for key in sorted(hot_keys()):
+                    out.write(str(key))
+            """)
+        assert "SIM012" not in codes(findings)
+
+    def test_near_miss_non_output_path(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/core/scan.py", """
+            def hot_keys():
+                return {1, 2, 3}
+
+            def total(out):
+                acc = 0
+                for key in hot_keys():
+                    acc += key
+                return acc
+            """)
+        assert "SIM012" not in codes(findings)
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/telemetry/export.py", """
+            def hot_keys():
+                return {1, 2, 3}
+
+            def write_keys(out):
+                for key in hot_keys():  # simlint: ignore[SIM012] -- summed, order-free
+                    out.write(str(key))
+            """)
+        assert "SIM012" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# SIM013 — module-level mutables written by worker-side code
+# ---------------------------------------------------------------------------
+
+
+class TestSim013SharedMutableGlobal:
+    def test_fires_on_direct_write(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/wrk.py", """
+            CACHE = {}
+
+            def run_shard(config):
+                CACHE[config] = 1
+                return config
+            """)
+        sim013 = [f for f in findings if f.rule == "SIM013"]
+        assert len(sim013) == 1
+        assert "CACHE" in sim013[0].message
+        assert "run_shard" in sim013[0].message
+
+    def test_fires_transitively_across_modules(self, tmp_path):
+        findings = lint_fixture(
+            tmp_path, "repro/experiments/wrk2.py", """
+            from repro.experiments.state import remember
+
+            def run_shard(config):
+                remember(config)
+                return config
+            """,
+            extra={"repro/experiments/state.py": """
+            SEEN = []
+
+            def remember(x):
+                SEEN.append(x)
+            """})
+        sim013 = [f for f in findings if f.rule == "SIM013"]
+        assert len(sim013) == 1
+        assert "SEEN" in sim013[0].message
+        assert "reached from worker entry run_shard()" in sim013[0].message
+        assert sim013[0].path == "repro/experiments/state.py"
+        assert sim013[0].chain
+
+    def test_near_miss_local_shadow_and_reads(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/wrk3.py", """
+            CACHE = {}
+            LIMITS = {"max": 4}
+
+            def run_shard(config):
+                CACHE = {}
+                CACHE[config] = 1
+                return LIMITS.get("max")
+            """)
+        assert "SIM013" not in codes(findings)
+
+    def test_near_miss_not_worker_side(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/wrk4.py", """
+            CACHE = {}
+
+            def orchestrate(config):
+                CACHE[config] = 1
+                return config
+            """)
+        assert "SIM013" not in codes(findings)
+
+    def test_pragma_suppresses(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/wrk5.py", """
+            CACHE = {}
+
+            def run_shard(config):
+                CACHE[config] = 1  # simlint: ignore[SIM013] -- memo, rebuilt per process
+                return config
+            """)
+        assert "SIM013" not in codes(findings)
+
+
+# ---------------------------------------------------------------------------
+# Whole-program (transitive) extensions of SIM001/SIM002/SIM004/SIM010
+# ---------------------------------------------------------------------------
+
+
+class TestTransitiveTaint:
+    ENTRY_FIXTURE = {
+        "repro/cluster/entry.py": """
+            from repro.cluster.stamp import stamp
+
+            def run_shard(config):
+                return stamp(config)
+            """,
+        "repro/cluster/stamp.py": """
+            import time
+
+            def stamp(config):
+                return time.time()
+            """,
+    }
+
+    def test_sim001_entry_point_reaches_clock(self, tmp_path):
+        fixture = dict(self.ENTRY_FIXTURE)
+        first = fixture.pop("repro/cluster/entry.py")
+        findings = lint_fixture(tmp_path, "repro/cluster/entry.py",
+                                first, extra=fixture)
+        sim001 = [f for f in findings if f.rule == "SIM001"]
+        # file-local finding at the read + transitive finding at the entry
+        assert len(sim001) == 2
+        entry = [f for f in sim001
+                 if f.path == "repro/cluster/entry.py"]
+        assert len(entry) == 1
+        assert "run_shard() reaches time.time()" in entry[0].message
+        assert "stamp" in entry[0].message
+        assert any("time.time" in hop for hop in entry[0].chain)
+
+    def test_sim001_pragma_at_source_kills_taint(self, tmp_path):
+        findings = lint_fixture(
+            tmp_path, "repro/cluster/entry.py",
+            self.ENTRY_FIXTURE["repro/cluster/entry.py"],
+            extra={"repro/cluster/stamp.py": """
+            import time
+
+            def stamp(config):
+                return time.time()  # simlint: ignore[SIM001] -- interval timing, reviewed
+            """})
+        assert "SIM001" not in codes(findings)
+
+    def test_sim002_cross_module_seed_arith(self, tmp_path):
+        findings = lint_fixture(
+            tmp_path, "repro/faults/use.py", """
+            from random import Random
+
+            from repro.faults.seeds import shifted
+
+            def make(seed: int):
+                return Random(shifted(seed))
+            """,
+            extra={"repro/faults/seeds.py": """
+            def shifted(seed):
+                return seed * 2 + 1
+            """})
+        sim002 = [f for f in findings if f.rule == "SIM002"]
+        assert len(sim002) == 1
+        assert "shifted" in sim002[0].message
+        assert "derive_seed" in sim002[0].message
+        assert sim002[0].path == "repro/faults/use.py"
+
+    def test_sim002_near_miss_plain_forwarder(self, tmp_path):
+        findings = lint_fixture(
+            tmp_path, "repro/faults/use2.py", """
+            from random import Random
+
+            from repro.faults.fwd import same
+
+            def make(seed: int):
+                return Random(same(seed))
+            """,
+            extra={"repro/faults/fwd.py": """
+            def same(seed):
+                return seed
+            """})
+        assert "SIM002" not in codes(findings)
+
+    def test_sim004_payload_calls_lambda_factory(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/tk.py", """
+            def work(x):
+                return x
+
+            def make_cb():
+                return lambda x: x + 1
+
+            def build():
+                return SweepTask("k", work, {"cb": make_cb()})
+            """)
+        sim004 = [f for f in findings if f.rule == "SIM004"]
+        assert len(sim004) == 1
+        assert "make_cb" in sim004[0].message
+        assert "returns a lambda" in sim004[0].message
+
+    def test_sim004_forwarding_factory_is_transitive(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/tk2.py", """
+            def work(x):
+                return x
+
+            def make_cb():
+                return lambda x: x + 1
+
+            def wrap_cb():
+                return make_cb()
+
+            def build():
+                return SweepTask("k", work, {"cb": wrap_cb()})
+            """)
+        assert "SIM004" in codes(findings)
+
+    def test_sim004_near_miss_data_factory(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/tk3.py", """
+            def work(x):
+                return x
+
+            def make_cfg():
+                return {"a": 1}
+
+            def build():
+                return SweepTask("k", work, {"cfg": make_cfg()})
+            """)
+        assert "SIM004" not in codes(findings)
+
+    def test_sim010_handler_reaches_advance_clock_via_helper(
+            self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/hx.py", """
+            from enum import Enum
+
+            class EventType(Enum):
+                ARRIVE = "arrive"
+
+            class Engine:
+                def __init__(self, loop, device):
+                    self.loop = loop
+                    self.device = device
+                    loop.register(EventType.ARRIVE, self._on_arrive)
+
+                def _on_arrive(self, event):
+                    self._bump()
+
+                def _bump(self):
+                    self.device.advance_clock(5.0)
+            """)
+        sim010 = [f for f in findings if f.rule == "SIM010"]
+        assert len(sim010) == 1
+        assert "_on_arrive" in sim010[0].message
+        assert "_bump" in sim010[0].message
+        assert any("advance_clock" in hop for hop in sim010[0].chain)
+
+
+# ---------------------------------------------------------------------------
+# Pragma edge cases
+# ---------------------------------------------------------------------------
+
+
+class TestPragmaEdgeCases:
+    def test_pragma_above_decorated_def(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/cluster/dec.py", """
+            import functools
+            import time
+
+            def step():
+                time.sleep(0.1)
+
+            # simlint: ignore[SIM011] -- bridge coroutine, reviewed
+            @functools.wraps(step)
+            async def serve():
+                step()
+            """)
+        assert "SIM011" not in codes(findings)
+
+    def test_pragma_on_decorated_def_line(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/cluster/dec2.py", """
+            import functools
+            import time
+
+            def step():
+                time.sleep(0.1)
+
+            @functools.wraps(step)
+            async def serve():  # simlint: ignore[SIM011] -- bridge coroutine, reviewed
+                step()
+            """)
+        assert "SIM011" not in codes(findings)
+
+    def test_pragma_inside_multi_line_call_span(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/experiments/ml.py", """
+            import time
+
+            def interval():
+                return time.perf_counter(
+                )  # simlint: ignore[SIM001] -- interval timing, reviewed
+            """)
+        assert "SIM001" not in codes(findings)
+
+    def test_unknown_rule_id_warns(self, tmp_path):
+        findings = lint_fixture(tmp_path, "repro/sim/badp.py", """
+            def f():
+                return 1  # simlint: ignore[SIM999] -- no such rule
+            """)
+        assert codes(findings) == ["SIM000"]
+        assert "SIM999" in findings[0].message
+        assert "unknown rule id" in findings[0].message
+        assert findings[0].severity == "warning"
+
+
+# ---------------------------------------------------------------------------
 # Baseline round-trip
 # ---------------------------------------------------------------------------
 
@@ -973,6 +1401,150 @@ class TestCliAndMeta:
         env["MYPYPATH"] = str(REPO_ROOT / "src")
         proc = subprocess.run(
             [sys.executable, "-m", "mypy", "-p", "repro.core",
-             "-p", "repro.parallel"],
+             "-p", "repro.parallel", "-p", "repro.cluster",
+             "-m", "repro.sim.events"],
             cwd=REPO_ROOT, env=env, capture_output=True, text=True)
         assert proc.returncode == 0, proc.stdout + proc.stderr
+
+
+# ---------------------------------------------------------------------------
+# Whole-program CLI: --why, --graph-out, --changed, sarif, baselines
+# ---------------------------------------------------------------------------
+
+
+DIRTY_CHAIN = {
+    "repro/cluster/entry.py": ("from repro.cluster.stamp import stamp\n"
+                               "\n\n"
+                               "def run_shard(config):\n"
+                               "    return stamp(config)\n"),
+    "repro/cluster/stamp.py": ("import time\n"
+                               "\n\n"
+                               "def stamp(config):\n"
+                               "    return time.time()\n"),
+}
+
+
+def write_tree(tmp_path: Path, files: dict) -> None:
+    for name, text in files.items():
+        target = tmp_path / name
+        target.parent.mkdir(parents=True, exist_ok=True)
+        target.write_text(textwrap.dedent(text), encoding="utf-8")
+
+
+class TestWholeProgramCli:
+    def test_why_prints_call_chain(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, DIRTY_CHAIN)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["repro", "--why",
+                          "SIM001:repro/cluster/entry.py"]) == 0
+        out = capsys.readouterr().out
+        assert "run_shard() reaches time.time()" in out
+        assert "[0]" in out and "[1]" in out
+        assert "calls repro.cluster.stamp.stamp" in out
+        assert "time.time" in out
+
+    def test_why_no_match_is_usage_error(self, tmp_path, monkeypatch,
+                                         capsys):
+        write_tree(tmp_path, DIRTY_CHAIN)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["repro", "--why",
+                          "SIM004:repro/cluster/entry.py"]) == 2
+        assert "no live finding" in capsys.readouterr().err
+
+    def test_graph_out_dumps_json(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, DIRTY_CHAIN)
+        monkeypatch.chdir(tmp_path)
+        lint_main(["repro", "--graph-out", "graph.json"])
+        capsys.readouterr()
+        document = json.loads((tmp_path / "graph.json").read_text())
+        assert document["version"] == 1
+        assert "repro.cluster.entry.run_shard" in document["functions"]
+        edges = [(e["caller"], e["callee"]) for e in document["edges"]]
+        assert ("repro.cluster.entry.run_shard",
+                "repro.cluster.stamp.stamp") in edges
+        assert 0.0 <= document["resolution_rate"] <= 1.0
+
+    def test_sarif_format(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, DIRTY_CHAIN)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["repro", "--format", "sarif"]) == 1
+        document = json.loads(capsys.readouterr().out)
+        assert document["version"] == "2.1.0"
+        run = document["runs"][0]
+        assert run["tool"]["driver"]["name"] == "simlint"
+        rule_ids = {r["id"] for r in run["tool"]["driver"]["rules"]}
+        assert {"SIM000", "SIM001", "SIM011", "SIM012",
+                "SIM013"} <= rule_ids
+        results = run["results"]
+        assert all(r["ruleId"] == "SIM001" for r in results)
+        chained = [r for r in results if "relatedLocations" in r]
+        assert chained, "entry-point finding should embed its chain"
+        uris = [loc["physicalLocation"]["artifactLocation"]["uri"]
+                for loc in chained[0]["relatedLocations"]]
+        assert "repro/cluster/stamp.py" in uris
+
+    def test_write_baseline_refused_under_strict(self, tmp_path,
+                                                 monkeypatch, capsys):
+        write_tree(tmp_path, DIRTY_CHAIN)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["repro", "--strict", "--write-baseline"]) == 1
+        assert not (tmp_path / DEFAULT_BASELINE).exists()
+        assert "NOT writing baseline" in capsys.readouterr().err
+        # Without --strict the same invocation records the debt.
+        assert lint_main(["repro", "--write-baseline"]) == 0
+        assert (tmp_path / DEFAULT_BASELINE).exists()
+        capsys.readouterr()
+
+    def test_changed_requires_git(self, tmp_path, monkeypatch, capsys):
+        write_tree(tmp_path, DIRTY_CHAIN)
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["repro", "--changed"]) == 2
+        assert "git work tree" in capsys.readouterr().err
+
+    def test_changed_scopes_to_neighbours(self, tmp_path, monkeypatch,
+                                          capsys):
+        write_tree(tmp_path, {
+            "repro/sim/util.py": """
+                import time
+
+
+                def tick():
+                    return time.time()
+                """,
+            "repro/sim/driver.py": """
+                from repro.sim.util import tick
+
+
+                def go():
+                    return tick()
+                """,
+            "repro/sim/other.py": """
+                import time
+
+
+                def other():
+                    return time.perf_counter()
+                """,
+        })
+        git = ["git", "-c", "user.email=t@t", "-c", "user.name=t"]
+        subprocess.run(["git", "init", "-q"], cwd=tmp_path, check=True)
+        subprocess.run(["git", "add", "-A"], cwd=tmp_path, check=True)
+        subprocess.run(git + ["commit", "-q", "-m", "base"],
+                       cwd=tmp_path, check=True)
+        driver = tmp_path / "repro" / "sim" / "driver.py"
+        driver.write_text(driver.read_text() + "\n# touched\n")
+        monkeypatch.chdir(tmp_path)
+        assert lint_main(["repro", "--changed"]) == 1
+        out = capsys.readouterr().out
+        # util.py is one call edge from the changed driver.py: in scope.
+        assert "repro/sim/util.py" in out
+        # other.py has a finding too, but is unchanged and unconnected.
+        assert "repro/sim/other.py" not in out
+
+    def test_call_graph_resolution_rate_on_src(self):
+        """Meta-invariant: >=95% of intra-repro calls resolve."""
+        result = lint_paths([REPO_ROOT / "src"], root=REPO_ROOT)
+        assert result.project is not None
+        graph = result.project.analysis().graph
+        assert graph.stats["resolved"] >= 1000
+        assert graph.resolution_rate >= 0.95, graph.stats
