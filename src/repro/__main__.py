@@ -4,11 +4,14 @@ Commands
 --------
 
 ``experiments``            list the available figure runners
-``fig1b`` .. ``fig15``     print one figure's rows (same output as the
+``fig1b`` .. ``fig16``     print one figure's rows (same output as the
                            ``repro.experiments.*`` module mains)
 ``cluster``                serve one sharded cluster scenario: open-loop
-                           traffic, consistent-hash routing, admission
-                           shedding, scripted/organic failover, and a
+                           traffic, consistent-hash routing with
+                           replicated keys (``--replicas``), admission
+                           shedding, scripted/organic failover with
+                           survivor cascades (``--cascade``) and shard
+                           repair (``--rejoin-at-ms``), and a
                            deterministic JSONL/CSV telemetry feed
                            (``--feed``, ``--csv``, ``--json``)
 ``faults``                 fault-injection / graceful-degradation sweep
@@ -55,6 +58,7 @@ from .experiments import (
     fig13_error_regimes,
     fig14_concurrency,
     fig15_cluster,
+    fig16_availability,
 )
 from .experiments.report import ReportScale, generate_report
 from .workloads.analysis import profile_trace
@@ -72,6 +76,7 @@ _FIGURES = {
     "fig13": fig13_error_regimes.main,
     "fig14": fig14_concurrency.main,
     "fig15": fig15_cluster.main,
+    "fig16": fig16_availability.main,
     "faults": fault_degradation.main,
 }
 
@@ -265,6 +270,21 @@ def _build_parser() -> argparse.ArgumentParser:
     cluster.add_argument("--kill-at-ms", type=float, default=None,
                          help="kill instant in simulated ms (default: "
                               "mid-run)")
+    cluster.add_argument("--replicas", type=int, default=1,
+                         help="replication factor: each key lives on "
+                              "its first R distinct ring successors; "
+                              "reads hit the first live replica, writes "
+                              "fan out to all (default 1)")
+    cluster.add_argument("--cascade", action="append", default=None,
+                         metavar="SHARD@MS",
+                         help="additional scripted kill (repeatable): "
+                              "e.g. --cascade 2@200 kills shard 2 at "
+                              "200 ms — a survivor cascade")
+    cluster.add_argument("--rejoin-at-ms", type=float, default=None,
+                         help="re-admit the repaired --kill-shard at "
+                              "this instant (simulated ms); triggers "
+                              "the background catch-up sync of its "
+                              "moved keys")
     cluster.add_argument("--aged-shard", type=int, default=None,
                          metavar="ID",
                          help="attach the fault/reliability ladder to "
@@ -419,6 +439,20 @@ def _cluster_command(args: argparse.Namespace) -> int:
         write_feed_jsonl,
     )
 
+    def parse_cascade(specs):
+        cascade = []
+        for spec in specs or ():
+            shard_text, sep, at_text = spec.partition("@")
+            try:
+                if not sep:
+                    raise ValueError(spec)
+                cascade.append((int(shard_text),
+                                float(at_text) * 1000.0))
+            except ValueError:
+                raise ValueError(f"bad --cascade {spec!r}; expected "
+                                 f"SHARD@MS (e.g. 2@200)") from None
+        return tuple(cascade)
+
     try:
         scenario = ClusterScenario(
             shards=args.shards, pattern=args.pattern, rate_rps=args.rate,
@@ -426,9 +460,13 @@ def _cluster_command(args: argparse.Namespace) -> int:
             footprint_pages=args.footprint_pages,
             queue_depth=args.queue_depth, channels=args.channels,
             planes=args.planes, shed_queue=args.shed_queue,
+            replicas=args.replicas,
             kill_shard=args.kill_shard,
             kill_at_us=(args.kill_at_ms * 1000.0
                         if args.kill_at_ms is not None else None),
+            cascade=parse_cascade(args.cascade),
+            rejoin_at_us=(args.rejoin_at_ms * 1000.0
+                          if args.rejoin_at_ms is not None else None),
             aged_shard=args.aged_shard,
             aged_fault_rate=args.aged_fault_rate,
             aged_reliability_rate=args.aged_reliability_rate,
@@ -449,12 +487,18 @@ def _cluster_command(args: argparse.Namespace) -> int:
         print(f"error: {exc}", file=sys.stderr)
         return 2
 
-    print(f"arrivals:        {result.arrivals}")
+    print(f"requests:        {result.requests}")
+    print(f"planned ops:     {result.arrivals}")
     print(f"completed:       {result.completed}")
     print(f"shed:            {result.shed} "
           f"({result.shed_fraction:.3%})")
-    print(f"lost:            {result.lost}")
+    print(f"lost:            {result.lost} "
+          f"(reads={result.lost_reads} writes={result.lost_writes})")
     print(f"redirected:      {result.redirected}")
+    if result.sync_arrived:
+        print(f"sync:            {result.sync_completed}/"
+              f"{result.sync_arrived} catch-up ops "
+              f"(lost={result.sync_lost} skipped={result.sync_skipped})")
     print(f"span:            {result.span_us / 1000.0:.1f} ms")
     print(f"throughput:      {result.throughput_rps:.0f} req/s")
     print(f"response us:     p50={result.response.p50:.1f} "
@@ -464,6 +508,9 @@ def _cluster_command(args: argparse.Namespace) -> int:
     for shard in result.shards:
         retired = (f" retired@{shard['retired_at_us'] / 1000.0:.0f}ms"
                    if shard["retired_at_us"] is not None else "")
+        if shard.get("rejoined_at_us") is not None:
+            retired += (f" rejoined@"
+                        f"{shard['rejoined_at_us'] / 1000.0:.0f}ms")
         print(f"  shard {shard['shard_id']}: "
               f"{shard['completed']}/{shard['arrivals']} served, "
               f"{shard['shed']} shed, {shard['lost']} lost, "

@@ -4,19 +4,23 @@ The paper's headline results are server-level; the ROADMAP's north star
 is "heavy traffic from millions of users".  This package scales the
 single-node hierarchy out: a consistent-hash front-end routes open-loop
 traffic across N simulated Flash-cache shards (one process per shard via
-the parallel runner), with queue-depth admission control and
-degraded-shard failover reusing the fault-injection and reliability
-models.
+the parallel runner), with queue-depth admission control, replicated
+keys (R > 1), degraded-shard failover, survivor cascades, and
+repair/re-admission reusing the fault-injection and reliability models.
 
 Layers:
 
 * :mod:`~repro.cluster.arrivals` — open-loop traffic plans (steady,
   diurnal, flash crowd, drain);
-* :mod:`~repro.cluster.ring`     — SHA-256 consistent-hash routing;
+* :mod:`~repro.cluster.ring`     — SHA-256 consistent-hash routing with
+  replica sets (``route_replicas``);
+* :mod:`~repro.cluster.chaos`    — scripted kill/rejoin timelines
+  (:class:`ChaosSchedule`);
+* :mod:`~repro.cluster.errors`   — the typed :class:`ClusterError`;
 * :mod:`~repro.cluster.shard`    — the per-shard open-loop engine with
-  shedding and retirement;
-* :mod:`~repro.cluster.cluster`  — two-stage failover orchestration and
-  aggregation (:func:`run_cluster`);
+  shedding, retirement, and background catch-up sync;
+* :mod:`~repro.cluster.cluster`  — N-stage failover/repair orchestration
+  and aggregation (:func:`run_cluster`);
 * :mod:`~repro.cluster.feed`     — deterministic JSONL/CSV telemetry
   feeds;
 * :mod:`~repro.cluster.service`  — the asyncio serving shell with live
@@ -24,7 +28,9 @@ Layers:
 """
 
 from .arrivals import ARRIVAL_PATTERNS, build_arrivals
+from .chaos import ChaosSchedule, KillSpec, RejoinSpec
 from .cluster import ClusterResult, ClusterScenario, run_cluster
+from .errors import ClusterError
 from .feed import feed_lines, write_feed_csv, write_feed_jsonl
 from .ring import HashRing
 from .service import ClusterService, serve
@@ -33,6 +39,10 @@ from .shard import run_shard
 __all__ = [
     "ARRIVAL_PATTERNS",
     "build_arrivals",
+    "ChaosSchedule",
+    "KillSpec",
+    "RejoinSpec",
+    "ClusterError",
     "ClusterResult",
     "ClusterScenario",
     "run_cluster",

@@ -1,42 +1,61 @@
-"""Cluster orchestration: plan, fan out, fail over, aggregate.
+"""Cluster orchestration: plan, fan out, cascade, repair, aggregate.
 
 :func:`run_cluster` simulates a consistent-hash cluster of Flash-cache
 shards under one open-loop traffic plan:
 
 1. **Plan** (serial, deterministic): sample the arrival process
-   (:mod:`repro.cluster.arrivals`), route every request to a shard on
-   the :class:`~repro.cluster.ring.HashRing` — arrivals after a scripted
-   kill instant route around the doomed shard, as a cluster membership
-   service would have removed it;
-2. **Stage 1** — run the *retirable* shards (scripted kill target,
-   and/or an aged shard whose fault/reliability ladder may trip graceful
-   degradation) through :func:`repro.parallel.sweep`.  Each returns the
-   arrivals it could not serve after retirement as redirects;
-3. **Stage 2** — merge the redirects into the survivors' substreams (in
-   ``(time_us, seq)`` order, routed around every stage-1 shard) and run
-   the survivors.  With no retirable shards there is a single stage;
-4. **Aggregate**: merge histograms, telemetry, and time buckets in
-   shard-id order and assert the accounting invariant — every planned
-   arrival is completed, shed, or lost exactly once::
+   (:mod:`repro.cluster.arrivals`) and route every request onto the
+   :class:`~repro.cluster.ring.HashRing`.  With ``replicas`` R > 1 each
+   key owns the first R distinct live shards clockwise of its hash:
+   reads go to the first live replica, writes fan out to all of them
+   (``planned_ops`` counts the fan-out).  Membership is time-aware — the
+   :class:`~repro.cluster.chaos.ChaosSchedule` says which shards are
+   dead at each instant, so post-kill arrivals route around corpses and
+   post-rejoin arrivals flow back to the repaired shard.  Catch-up sync
+   streams (the rejoiner's moved keys, plus the paired source reads on
+   the shards that held them) are also planned here, as background
+   traffic at the rejoin instant;
+2. **Scripted stages**: kills grouped by identical instant run in
+   ascending kill order.  Each stage returns the arrivals it could not
+   serve after retirement; those redirects (and, at R > 1, in-flight
+   reads reclassified as replica retries) are merged into the streams of
+   nodes that have not run yet — which includes *later* kill victims, so
+   a survivor absorbing failover traffic can itself die mid-run and
+   bounce that traffic onward (a survivor cascade);
+3. **Organic stage**: the aged shard (fault/reliability ladder with
+   ``retire_on_degraded``) runs after every scripted stage, so its
+   redirect targets are known-final.  Failover traffic never routes *to*
+   the organic-risk shard — the membership service already flags it;
+4. **Serving stage**: the healthy shards plus the rejoined incarnation
+   of every repaired shard (cold device, freshly derived seeds,
+   foreground stream starting at the rejoin instant, background sync
+   warming its moved keys back in);
+5. **Aggregate**: merge incarnations per shard id, then histograms,
+   telemetry, and time buckets in shard-id order, asserting the
+   replica-aware accounting identity — every planned operation (reads
+   once, writes once per replica) terminates exactly once::
 
-       planned == sum(completed) + sum(shed) + sum(lost)
+       planned_ops == sum(completed) + sum(shed) + sum(lost)
+       planned_ops == sum(arrived)   - sum(redirected)
 
-Because both stages fan out through :func:`repro.parallel.sweep` with
+Because every stage fans out through :func:`repro.parallel.sweep` with
 module-level task functions and plain-data kwargs, the entire result —
-feed included — is byte-identical at any ``workers`` setting.  The known
-modelling bound: stage-2 survivors absorb failover traffic but do not
-themselves retire mid-run (a second-order cascade the single-failure
-scenarios here never trigger).
+feed included — is byte-identical at any ``workers`` setting, and an
+R=1 scenario with no cascade or rejoin reproduces the PR-8 two-stage
+planner's results exactly.
 """
 
 from __future__ import annotations
 
 from dataclasses import asdict, dataclass, field
-from typing import Any, Callable, Dict, List, Optional, Sequence
+from typing import (Any, Callable, Dict, List, Optional, Sequence, Set,
+                    Tuple)
 
 from ..parallel import SweepResult, SweepTask, merge_telemetry, sweep
 from ..telemetry import LatencyHistogram, Telemetry
 from .arrivals import ARRIVAL_PATTERNS, Arrival, build_arrivals
+from .chaos import ChaosSchedule
+from .errors import ClusterError
 from .ring import HashRing
 from .shard import run_shard
 
@@ -49,6 +68,23 @@ ProgressCallback = Callable[[Dict[str, Any]], None]
 #: Per-bucket row layout produced by the shard engine.
 _BUCKET_FIELDS = ("arrivals", "completed", "shed", "lost", "redirected",
                   "response_sum_us", "response_max_us")
+
+#: One schedulable engine run: ``(shard_id, incarnation)``.  Incarnation
+#: 0 is the shard's original run; incarnation 1 is its post-repair rerun.
+_Node = Tuple[int, int]
+
+#: Outcome counters summed when merging a shard's incarnations.
+_SUMMED_KEYS = ("arrivals", "completed", "shed", "lost", "lost_reads",
+                "lost_writes", "redirected", "sync_arrived",
+                "sync_completed", "sync_lost", "sync_skipped",
+                "channel_stalls", "gc_events", "scrub_events")
+
+#: Outcome device-health fields reported from the newest incarnation
+#: (a repaired shard is new hardware; the old device left the fleet).
+_LATEST_KEYS = ("flash_miss_rate", "live_capacity", "degraded",
+                "retired_blocks", "recovered_faults",
+                "unrecovered_faults", "read_retries",
+                "uncorrectable_reads")
 
 
 @dataclass(frozen=True)
@@ -70,11 +106,18 @@ class ClusterScenario:
     planes: int = 2
     #: Host wait-queue length beyond the window before requests shed.
     shed_queue: int = 64
+    #: Replication factor: each key's first R distinct ring successors.
+    replicas: int = 1
     # -- failure script ------------------------------------------------------
     #: Shard to kill mid-run (None = no scripted failure).
     kill_shard: Optional[int] = None
     #: Kill instant (us); defaults to mid-run when ``kill_shard`` is set.
     kill_at_us: Optional[float] = None
+    #: Additional scripted kills ``(shard, at_us)`` — survivor cascades.
+    cascade: Tuple[Tuple[int, float], ...] = ()
+    #: Instant the repaired ``kill_shard`` rejoins the ring (None =
+    #: stays dead).  Triggers the catch-up sync of its moved keys.
+    rejoin_at_us: Optional[float] = None
     #: Shard carrying the PR-1 fault ladder / PR-6 reliability model.
     aged_shard: Optional[int] = None
     aged_fault_rate: float = 0.0
@@ -94,12 +137,20 @@ class ClusterScenario:
             return self.kill_at_us
         return self.duration_s * 1e6 / 2.0
 
+    def chaos(self) -> ChaosSchedule:
+        """The scenario's scripted failure/repair timeline."""
+        return ChaosSchedule.from_scenario(
+            self.kill_shard, self.effective_kill_at_us(),
+            self.cascade, self.rejoin_at_us)
+
 
 @dataclass
 class ClusterResult:
     """Aggregated outcome of one cluster run."""
 
     scenario: Dict[str, Any]
+    #: Planned operations: one per read, one per replica per write.
+    #: Equals the client request count when ``replicas`` is 1.
     arrivals: int
     completed: int
     shed: int
@@ -109,7 +160,20 @@ class ClusterResult:
     throughput_rps: float
     response: LatencyHistogram
     queue_delay: LatencyHistogram
-    #: Per-shard summaries (shard-id order), each with its own buckets.
+    #: Distinct client requests (before write fan-out).
+    requests: int = 0
+    #: Loss split: reads lost in flight are recoverable at R > 1 (and
+    #: then counted as ``redirected`` retries instead); writes lost on
+    #: one replica stay lost there even though sibling copies landed.
+    lost_reads: int = 0
+    lost_writes: int = 0
+    # -- repair/catch-up traffic (background, outside the identity) ----------
+    sync_arrived: int = 0
+    sync_completed: int = 0
+    sync_lost: int = 0
+    sync_skipped: int = 0
+    #: Per-shard summaries (shard-id order), incarnations merged, each
+    #: with its own buckets.
     shards: List[Dict[str, Any]] = field(default_factory=list)
     #: Merged per-shard telemetry (event-bus metrics + sampler series).
     telemetry: Optional[Telemetry] = None
@@ -166,10 +230,17 @@ class ClusterResult:
             "scenario": self.scenario,
             "totals": {
                 "arrivals": self.arrivals,
+                "requests": self.requests,
                 "completed": self.completed,
                 "shed": self.shed,
                 "lost": self.lost,
+                "lost_reads": self.lost_reads,
+                "lost_writes": self.lost_writes,
                 "redirected": self.redirected,
+                "sync_arrived": self.sync_arrived,
+                "sync_completed": self.sync_completed,
+                "sync_lost": self.sync_lost,
+                "sync_skipped": self.sync_skipped,
                 "shed_fraction": round(self.shed_fraction, 6),
                 "span_us": round(self.span_us, 3),
                 "throughput_rps": round(self.throughput_rps, 3),
@@ -193,38 +264,83 @@ class ClusterResult:
         return out
 
 
-def _validate(scenario: ClusterScenario) -> None:
+def _validate(scenario: ClusterScenario, chaos: ChaosSchedule) -> None:
     if scenario.shards < 1:
         raise ValueError("shards must be >= 1")
     if scenario.pattern not in ARRIVAL_PATTERNS:
         raise ValueError(f"unknown arrival pattern {scenario.pattern!r}; "
                          f"known: {', '.join(ARRIVAL_PATTERNS)}")
-    for label, shard_id in (("kill_shard", scenario.kill_shard),
-                            ("aged_shard", scenario.aged_shard)):
-        if shard_id is not None and not 0 <= shard_id < scenario.shards:
-            raise ValueError(f"{label}={shard_id} outside the fleet "
-                             f"(0..{scenario.shards - 1})")
+    if scenario.replicas < 1:
+        raise ClusterError("replicas must be >= 1")
+    if scenario.replicas > scenario.shards:
+        raise ClusterError(
+            f"replicas={scenario.replicas} exceeds the fleet of "
+            f"{scenario.shards} shard(s)")
+    if scenario.aged_shard is not None \
+            and not 0 <= scenario.aged_shard < scenario.shards:
+        raise ValueError(f"aged_shard={scenario.aged_shard} outside the "
+                         f"fleet (0..{scenario.shards - 1})")
+    chaos.validate_fleet(scenario.shards)
+    # Replication must survive the darkest scripted moment (membership
+    # only changes at kill/rejoin instants, so checking those suffices).
+    for kill in chaos.kills:
+        live = scenario.shards - len(chaos.dead_at(kill.at_us))
+        if live < scenario.replicas:
+            raise ClusterError(
+                f"replicas={scenario.replicas} cannot be placed on the "
+                f"{live} shard(s) live at t={kill.at_us:g}us")
 
 
-def _retirable_ids(scenario: ClusterScenario) -> List[int]:
-    """Shards that may leave the cluster mid-run (stage-1 members)."""
-    risky = []
-    if scenario.kill_shard is not None:
-        risky.append(scenario.kill_shard)
+def _organic_risk(scenario: ClusterScenario,
+                  chaos: ChaosSchedule) -> List[int]:
+    """Shards that may retire *organically* mid-run (no scripted kill)."""
     if (scenario.aged_shard is not None and scenario.retire_on_degraded
             and (scenario.aged_fault_rate > 0.0
                  or scenario.aged_reliability_rate > 0.0)
-            and scenario.aged_shard not in risky):
-        risky.append(scenario.aged_shard)
-    return sorted(risky)
+            and scenario.aged_shard not in chaos.killed_shards):
+        return [scenario.aged_shard]
+    return []
 
 
-def _shard_task(scenario: ClusterScenario, shard_id: int,
-                stream: List[Arrival],
-                kill_at_us: Optional[float]) -> SweepTask:
-    aged = shard_id == scenario.aged_shard
+def _stage_plan(scenario: ClusterScenario, chaos: ChaosSchedule,
+                ) -> List[Tuple[str, List[_Node]]]:
+    """The deterministic stage order: scripted kill groups ascending,
+    then the organic-risk group, then the serving group (healthy shards
+    plus rejoined incarnations)."""
+    plan: List[Tuple[str, List[_Node]]] = []
+    for at_us, members in chaos.stages():
+        plan.append((f"kill@{at_us:g}us",
+                     [(shard, 0) for shard in members]))
+    organic = _organic_risk(scenario, chaos)
+    if organic:
+        plan.append(("organic", [(shard, 0) for shard in organic]))
+    killed = set(chaos.killed_shards)
+    serving: List[_Node] = [
+        (shard, 0) for shard in range(scenario.shards)
+        if shard not in killed and shard not in organic]
+    serving.extend((rejoin.shard, 1)
+                   for rejoin in sorted(chaos.rejoins,
+                                        key=lambda spec: spec.shard))
+    serving.sort()
+    plan.append(("serving", serving))
+    return plan
+
+
+def _shard_task(scenario: ClusterScenario, node: _Node,
+                stream: List[Arrival], sync_stream: List[Arrival],
+                chaos: ChaosSchedule) -> SweepTask:
+    shard_id, incarnation = node
+    aged = incarnation == 0 and shard_id == scenario.aged_shard
+    if incarnation == 0:
+        key = f"cluster:shard={shard_id}"
+        fail_at_us = chaos.kill_at(shard_id)
+        rejoin_at_us = None
+    else:
+        key = f"cluster:shard={shard_id}:rejoin"
+        fail_at_us = None
+        rejoin_at_us = chaos.rejoin_at(shard_id)
     return SweepTask(
-        key=f"cluster:shard={shard_id}",
+        key=key,
         fn=run_shard,
         kwargs={
             "shard_id": shard_id,
@@ -235,8 +351,7 @@ def _shard_task(scenario: ClusterScenario, shard_id: int,
             "channels": scenario.channels,
             "planes": scenario.planes,
             "shed_queue": scenario.shed_queue,
-            "fail_at_us": (kill_at_us
-                           if shard_id == scenario.kill_shard else None),
+            "fail_at_us": fail_at_us,
             "retire_on_degraded": aged and scenario.retire_on_degraded,
             "fault_rate": scenario.aged_fault_rate if aged else 0.0,
             "reliability_rate": (scenario.aged_reliability_rate
@@ -244,22 +359,27 @@ def _shard_task(scenario: ClusterScenario, shard_id: int,
             "bucket_us": scenario.bucket_ms * 1000.0,
             "sample_interval": scenario.sample_interval,
             "seed": scenario.seed,
+            "sync_arrivals": sync_stream,
+            "rejoin_at_us": rejoin_at_us,
+            "incarnation": incarnation,
         })
 
 
-def _run_stage(scenario: ClusterScenario, stage: str, shard_ids: List[int],
-               substreams: Dict[int, List[Arrival]],
-               kill_at_us: Optional[float], workers: int,
+def _run_stage(scenario: ClusterScenario, stage: str, nodes: List[_Node],
+               streams: Dict[_Node, List[Arrival]],
+               sync_streams: Dict[_Node, List[Arrival]],
+               chaos: ChaosSchedule, workers: int,
                progress: Optional[ProgressCallback],
-               ) -> Dict[int, Dict[str, Any]]:
-    """Fan one stage's shards out through the parallel runner."""
-    if not shard_ids:
+               ) -> Dict[_Node, Dict[str, Any]]:
+    """Fan one stage's nodes out through the parallel runner."""
+    if not nodes:
         return {}
     if progress is not None:
         progress({"kind": "stage", "stage": stage,
-                  "shards": list(shard_ids)})
-    tasks = [_shard_task(scenario, shard_id, substreams[shard_id],
-                         kill_at_us) for shard_id in shard_ids]
+                  "shards": [shard for shard, _ in nodes]})
+    tasks = [_shard_task(scenario, node, streams[node],
+                         sync_streams.get(node, []), chaos)
+             for node in nodes]
     stage_progress: Optional[Callable[[SweepResult, int, int], None]] = None
     if progress is not None:
         callback = progress
@@ -270,69 +390,242 @@ def _run_stage(scenario: ClusterScenario, stage: str, shard_ids: List[int],
                       "ok": result.ok, "done": done, "total": total})
         stage_progress = _stage_progress
     results = sweep(tasks, workers=workers, progress=stage_progress)
-    return {shard_id: result.unwrap()
-            for shard_id, result in zip(shard_ids, results)}
+    return {node: result.unwrap()
+            for node, result in zip(nodes, results)}
+
+
+class _Planner:
+    """Time-aware routing shared by the plan and failover phases."""
+
+    def __init__(self, scenario: ClusterScenario,
+                 chaos: ChaosSchedule) -> None:
+        self.scenario = scenario
+        self.chaos = chaos
+        self.ring = HashRing(range(scenario.shards),
+                             vnodes=scenario.vnodes)
+        self.organic = frozenset(_organic_risk(scenario, chaos))
+        #: Shard ids whose incarnation-0 run has started (or finished) —
+        #: their original streams can no longer accept failover traffic.
+        self.started: Set[int] = set()
+
+    def node_for(self, shard: int, time_us: float) -> _Node:
+        """Which incarnation of ``shard`` serves an arrival at ``time_us``."""
+        rejoin_us = self.chaos.rejoin_at(shard)
+        if rejoin_us is not None and time_us >= rejoin_us:
+            return (shard, 1)
+        return (shard, 0)
+
+    def replica_nodes(self, page: int, time_us: float,
+                      is_read: bool) -> List[_Node]:
+        """The nodes a planned request lands on: the first live replica
+        for a read, every live replica for a write."""
+        dead = self.chaos.dead_at(time_us)
+        targets = self.ring.route_replicas(page, self.scenario.replicas,
+                                           exclude=dead)
+        chosen = targets[:1] if is_read else targets
+        return [self.node_for(shard, time_us) for shard in chosen]
+
+    def failover_node(self, page: int, time_us: float) -> _Node:
+        """Where failover traffic (a redirect or a replica retry) at
+        ``time_us`` goes: the page's first ring successor that is alive,
+        has not already run, and is not flagged as organic risk.  Raises
+        :class:`ClusterError` when no such shard exists."""
+        exclusion: Set[int] = set(self.chaos.dead_at(time_us))
+        exclusion |= self.organic
+        for shard in self.started:
+            rejoin_us = self.chaos.rejoin_at(shard)
+            if rejoin_us is None or time_us < rejoin_us:
+                exclusion.add(shard)
+        target = self.ring.route(page, exclude=exclusion)
+        return self.node_for(target, time_us)
+
+
+def _plan_streams(planner: _Planner, arrivals: List[Arrival],
+                  ) -> Tuple[Dict[_Node, List[Arrival]], int]:
+    """Route the traffic plan onto nodes; returns (streams, planned_ops)."""
+    chaos = planner.chaos
+    streams: Dict[_Node, List[Arrival]] = {
+        (shard, 0): [] for shard in range(planner.scenario.shards)}
+    for rejoin in chaos.rejoins:
+        streams[(rejoin.shard, 1)] = []
+    planned_ops = 0
+    for arrival in arrivals:
+        time_us, _, page, is_read = arrival
+        nodes = planner.replica_nodes(page, time_us, is_read)
+        planned_ops += len(nodes)
+        for node in nodes:
+            streams[node].append(arrival)
+    return streams, planned_ops
+
+
+def _plan_sync(planner: _Planner, arrivals: List[Arrival],
+               ) -> Dict[_Node, List[Arrival]]:
+    """Plan each rejoiner's catch-up: for every distinct page touched
+    while it was dead whose replica set would have included it, one
+    background write on the rejoined incarnation warming the key back
+    in, paired with one background source read on the first live shard
+    still holding it.  Minimal-move by construction: only the
+    rejoiner's own keys travel."""
+    chaos = planner.chaos
+    ring = planner.ring
+    replicas = planner.scenario.replicas
+    sync_streams: Dict[_Node, List[Arrival]] = {}
+    for rejoin in sorted(chaos.rejoins, key=lambda spec: spec.shard):
+        shard = rejoin.shard
+        kill_us = chaos.kill_at(shard)
+        assert kill_us is not None  # ChaosSchedule validated the pairing
+        moved: Dict[int, None] = {}
+        for time_us, _, page, _ in arrivals:
+            if not kill_us <= time_us < rejoin.at_us or page in moved:
+                continue
+            # Would this key have lived on the rejoiner, had it been up?
+            as_if_alive = set(chaos.dead_at(time_us))
+            as_if_alive.discard(shard)
+            if shard in ring.route_replicas(page, replicas,
+                                            exclude=as_if_alive):
+                moved[page] = None
+        dead_at_rejoin = set(chaos.dead_at(rejoin.at_us))
+        dead_at_rejoin.add(shard)
+        for seq, page in enumerate(moved):
+            try:
+                source = ring.route(page, exclude=dead_at_rejoin)
+            except ClusterError:
+                continue  # nobody left to stream from; key stays cold
+            sync_streams.setdefault((shard, 1), []).append(
+                (rejoin.at_us, seq, page, False))
+            source_node = planner.node_for(source, rejoin.at_us)
+            sync_streams.setdefault(source_node, []).append(
+                (rejoin.at_us, seq, page, True))
+    for stream in sync_streams.values():
+        stream.sort(key=lambda a: (a[0], a[1]))
+    return sync_streams
+
+
+def _absorb_failover(planner: _Planner, nodes: List[_Node],
+                     outcomes: Dict[_Node, Dict[str, Any]],
+                     streams: Dict[_Node, List[Arrival]],
+                     dirty: Set[_Node]) -> None:
+    """Merge one finished stage's failover traffic into the streams of
+    nodes still to run.
+
+    Redirects (arrivals a retired shard bounced) reroute to the page's
+    next eligible owner.  At R > 1, reads that were in flight when their
+    shard was killed are *reclassified*: the data lives on a sibling
+    replica, so the loss becomes a redirect and a retry arrival is
+    issued at the kill instant on the first eligible replica — which may
+    itself be a later cascade victim, in which case the retry bounces
+    again when that stage runs.
+    """
+    replicas = planner.scenario.replicas
+    for node in nodes:
+        outcome = outcomes[node]
+        for arrival in outcome["redirects"]:
+            try:
+                target = planner.failover_node(arrival[2], arrival[0])
+            except ClusterError:
+                raise ClusterError(
+                    "every shard retired; failover traffic has nowhere "
+                    "to go") from None
+            streams[target].append(arrival)
+            dirty.add(target)
+        if replicas <= 1 or not outcome["inflight_reads"]:
+            continue
+        retired_us = outcome["retired_at_us"]
+        for arrival, bucket_index in outcome["inflight_reads"]:
+            try:
+                target = planner.failover_node(arrival[2], retired_us)
+            except ClusterError:
+                continue  # no live replica left: the read stays lost
+            outcome["lost"] -= 1
+            outcome["lost_reads"] -= 1
+            outcome["redirected"] += 1
+            row = outcome["buckets"][bucket_index]
+            row[3] -= 1
+            row[4] += 1
+            streams[target].append((retired_us, arrival[1], arrival[2],
+                                    True))
+            dirty.add(target)
 
 
 def run_cluster(scenario: ClusterScenario, workers: int = 1,
                 progress: Optional[ProgressCallback] = None,
                 ) -> ClusterResult:
     """Simulate one cluster scenario; identical at any worker count."""
-    _validate(scenario)
-    kill_at_us = scenario.effective_kill_at_us()
+    chaos = scenario.chaos()
+    _validate(scenario, chaos)
     arrivals = build_arrivals(scenario.pattern, scenario.rate_rps,
                               scenario.duration_s, scenario.workload,
                               scenario.footprint_pages, scenario.seed)
-    ring = HashRing(range(scenario.shards), vnodes=scenario.vnodes)
-    substreams: Dict[int, List[Arrival]] = {
-        shard_id: [] for shard_id in range(scenario.shards)}
-    kill = scenario.kill_shard
-    for arrival in arrivals:
-        time_us, _, page, _ = arrival
-        if kill is not None and kill_at_us is not None \
-                and time_us >= kill_at_us:
-            target = ring.route(page, exclude=(kill,))
-        else:
-            target = ring.route(page)
-        substreams[target].append(arrival)
+    planner = _Planner(scenario, chaos)
+    streams, planned_ops = _plan_streams(planner, arrivals)
+    sync_streams = _plan_sync(planner, arrivals)
 
-    risky = _retirable_ids(scenario)
-    healthy = [shard_id for shard_id in range(scenario.shards)
-               if shard_id not in risky]
-    outcomes = _run_stage(scenario, "retirable", risky, substreams,
-                          kill_at_us, workers, progress)
-
-    redirects: List[Arrival] = []
-    for shard_id in risky:
-        redirects.extend(outcomes[shard_id]["redirects"])
-    if redirects:
-        if not healthy:
-            raise ValueError("every shard retired; failover traffic has "
-                             "nowhere to go")
-        for arrival in redirects:
-            target = ring.route(arrival[2], exclude=risky)
-            substreams[target].append(arrival)
-        for shard_id in healthy:
-            substreams[shard_id].sort(key=lambda a: (a[0], a[1]))
-    outcomes.update(_run_stage(scenario, "serving", healthy, substreams,
-                               kill_at_us, workers, progress))
-    return _combine(scenario, arrivals, outcomes)
+    outcomes: Dict[_Node, Dict[str, Any]] = {}
+    dirty: Set[_Node] = set()
+    for stage, nodes in _stage_plan(scenario, chaos):
+        for node in nodes:
+            if node in dirty:
+                streams[node].sort(key=lambda a: (a[0], a[1]))
+                dirty.discard(node)
+        outcomes.update(_run_stage(scenario, stage, nodes, streams,
+                                   sync_streams, chaos, workers,
+                                   progress))
+        planner.started.update(shard for shard, incarnation in nodes
+                               if incarnation == 0)
+        _absorb_failover(planner, nodes, outcomes, streams, dirty)
+    if dirty:
+        raise RuntimeError(  # pragma: no cover - planner invariant
+            f"failover traffic merged into already-run nodes: "
+            f"{sorted(dirty)}")
+    return _combine(scenario, len(arrivals), planned_ops, outcomes)
 
 
-def _combine(scenario: ClusterScenario, arrivals: List[Arrival],
-             outcomes: Dict[int, Dict[str, Any]]) -> ClusterResult:
-    ordered = [outcomes[shard_id] for shard_id in sorted(outcomes)]
-    planned = len(arrivals)
+def _merge_incarnations(parts: List[Dict[str, Any]]) -> Dict[str, Any]:
+    """Fold one shard's incarnation outcomes into a single summary."""
+    merged = dict(parts[0])
+    merged.pop("incarnation", None)
+    merged["incarnations"] = len(parts)
+    for later in parts[1:]:
+        for key in _SUMMED_KEYS:
+            merged[key] += later[key]
+        for key in _LATEST_KEYS:
+            merged[key] = later[key]
+        merged["span_us"] = max(merged["span_us"], later["span_us"])
+        merged["rejoined_at_us"] = later["rejoined_at_us"]
+        buckets: Dict[int, List[float]] = {
+            index: list(row) for index, row in merged["buckets"].items()}
+        for index, row in later["buckets"].items():
+            into = buckets.setdefault(index, [0, 0, 0, 0, 0, 0.0, 0.0])
+            for position, value in enumerate(row):
+                if position == 6:
+                    into[position] = max(into[position], value)
+                else:
+                    into[position] += value
+        merged["buckets"] = buckets
+        merged["response"].merge(later["response"])
+        merged["queue_delay"].merge(later["queue_delay"])
+    return merged
+
+
+def _combine(scenario: ClusterScenario, requests: int, planned_ops: int,
+             outcomes: Dict[_Node, Dict[str, Any]]) -> ClusterResult:
+    by_shard: Dict[int, List[Dict[str, Any]]] = {}
+    for shard, incarnation in sorted(outcomes):
+        by_shard.setdefault(shard, []).append(
+            outcomes[(shard, incarnation)])
+    ordered = [_merge_incarnations(parts)
+               for _, parts in sorted(by_shard.items())]
     completed = sum(outcome["completed"] for outcome in ordered)
     shed = sum(outcome["shed"] for outcome in ordered)
     lost = sum(outcome["lost"] for outcome in ordered)
     redirected = sum(outcome["redirected"] for outcome in ordered)
     arrived = sum(outcome["arrivals"] for outcome in ordered)
-    if completed + shed + lost != planned or arrived - redirected != planned:
+    if completed + shed + lost != planned_ops \
+            or arrived - redirected != planned_ops:
         raise RuntimeError(
-            f"cluster lost-request accounting drift: planned {planned}, "
-            f"completed {completed} + shed {shed} + lost {lost} "
-            f"(arrived {arrived}, redirected {redirected})")
+            f"cluster lost-request accounting drift: planned "
+            f"{planned_ops}, completed {completed} + shed {shed} + "
+            f"lost {lost} (arrived {arrived}, redirected {redirected})")
     response = LatencyHistogram("cluster.response_us")
     queue_delay = LatencyHistogram("cluster.queue_delay_us")
     for outcome in ordered:
@@ -342,7 +635,8 @@ def _combine(scenario: ClusterScenario, arrivals: List[Arrival],
     shards = []
     for outcome in ordered:
         summary = {key: value for key, value in outcome.items()
-                   if key not in ("redirects", "response", "queue_delay",
+                   if key not in ("redirects", "inflight_reads",
+                                  "response", "queue_delay",
                                   "service_latency", "telemetry")}
         summary["response_p50_us"] = round(outcome["response"].p50, 3)
         summary["response_p95_us"] = round(outcome["response"].p95, 3)
@@ -350,9 +644,10 @@ def _combine(scenario: ClusterScenario, arrivals: List[Arrival],
         summary["mean_queue_delay_us"] = round(
             outcome["queue_delay"].mean, 3)
         shards.append(summary)
+    node_order = [outcomes[node] for node in sorted(outcomes)]
     return ClusterResult(
         scenario=asdict(scenario),
-        arrivals=planned,
+        arrivals=planned_ops,
         completed=completed,
         shed=shed,
         lost=lost,
@@ -362,7 +657,15 @@ def _combine(scenario: ClusterScenario, arrivals: List[Arrival],
                         else 0.0),
         response=response,
         queue_delay=queue_delay,
+        requests=requests,
+        lost_reads=sum(outcome["lost_reads"] for outcome in ordered),
+        lost_writes=sum(outcome["lost_writes"] for outcome in ordered),
+        sync_arrived=sum(outcome["sync_arrived"] for outcome in ordered),
+        sync_completed=sum(outcome["sync_completed"]
+                           for outcome in ordered),
+        sync_lost=sum(outcome["sync_lost"] for outcome in ordered),
+        sync_skipped=sum(outcome["sync_skipped"] for outcome in ordered),
         shards=shards,
         telemetry=merge_telemetry(outcome["telemetry"]
-                                  for outcome in ordered),
+                                  for outcome in node_order),
     )

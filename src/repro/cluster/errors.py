@@ -1,0 +1,24 @@
+"""Typed errors of the cluster layer.
+
+Routing and orchestration failures raise :class:`ClusterError` so
+callers can distinguish "the fleet cannot satisfy this request"
+(every shard excluded, replication factor above the live population,
+an inconsistent chaos schedule) from genuine bugs.  It subclasses
+``ValueError`` for backward compatibility with callers that predate
+the typed hierarchy (the ring used to raise bare ``ValueError``).
+"""
+
+from __future__ import annotations
+
+__all__ = ["ClusterError"]
+
+
+class ClusterError(ValueError):
+    """The cluster cannot satisfy a routing or orchestration request.
+
+    Raised when a ring walk runs out of live shards (every shard
+    excluded, or a replication factor larger than the live population)
+    and when a :class:`~repro.cluster.chaos.ChaosSchedule` is
+    inconsistent (a rejoin without a kill, duplicate kills, a cascade
+    that retires the whole fleet).
+    """

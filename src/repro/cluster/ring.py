@@ -1,23 +1,37 @@
 """Consistent-hash routing across cache shards.
 
-The front-end maps every page key onto one shard with a classic
+The front-end maps every page key onto shards with a classic
 consistent-hash ring: each shard owns ``vnodes`` points on a 64-bit
 circle, and a key routes to the first shard point at or clockwise of the
 key's own hash.  Retiring a shard (degraded device, scripted kill) only
 remaps the keys that shard owned — the failover property the cluster
 experiments measure.
 
+Replication (``route_replicas``) extends the same walk: a key's replica
+set is the first R *distinct* shards clockwise of its hash, skipping
+repeated vnodes of shards already collected.  The successor-walk
+construction keeps the minimal-move property in both directions: a
+shard leaving the ring only moves its own keys onto their next
+successors, and a repaired shard rejoining only takes its own keys
+back.
+
 Every hash is SHA-256 (simlint SIM003: builtin ``hash()`` is salted per
 process and would make routing depend on ``PYTHONHASHSEED``).  Lookup
 with an exclusion set walks clockwise past excluded shards, so failover
-targets are exactly the next live owners on the circle.
+targets are exactly the next live owners on the circle.  A walk that
+runs out of shards — every shard excluded, or a replication factor
+above the live population — raises the typed
+:class:`~repro.cluster.errors.ClusterError` rather than looping or
+silently under-providing replicas.
 """
 
 from __future__ import annotations
 
 import bisect
 import hashlib
-from typing import Iterable, List, Sequence, Tuple
+from typing import Iterable, List, Tuple
+
+from .errors import ClusterError
 
 __all__ = ["HashRing"]
 
@@ -31,15 +45,16 @@ def _point(text: str) -> int:
 class HashRing:
     """Deterministic consistent-hash ring over integer shard ids."""
 
-    def __init__(self, shard_ids: Sequence[int],
+    def __init__(self, shard_ids: Iterable[int],
                  vnodes: int = 64) -> None:
-        if not shard_ids:
+        ids = list(shard_ids)
+        if not ids:
             raise ValueError("ring needs at least one shard")
-        if len(set(shard_ids)) != len(shard_ids):
+        if len(set(ids)) != len(ids):
             raise ValueError("duplicate shard ids")
         if vnodes < 1:
             raise ValueError("vnodes must be >= 1")
-        self.shard_ids: Tuple[int, ...] = tuple(sorted(shard_ids))
+        self.shard_ids: Tuple[int, ...] = tuple(sorted(ids))
         self.vnodes = vnodes
         points: List[Tuple[int, int]] = [
             (_point(f"shard:{shard_id}:{replica}"), shard_id)
@@ -54,14 +69,42 @@ class HashRing:
 
         Walks clockwise from the key's position; with exclusions the key
         lands on the next live shard's point, which is how traffic from
-        a retired shard spreads across the survivors.
+        a retired shard spreads across the survivors.  Raises
+        :class:`ClusterError` when every shard is excluded.
         """
+        return self.route_replicas(page, 1, exclude=exclude)[0]
+
+    def route_replicas(self, page: int, replicas: int,
+                       exclude: Iterable[int] = ()) -> Tuple[int, ...]:
+        """The first ``replicas`` distinct live shards clockwise of
+        ``page``'s position, in walk order.
+
+        Element 0 is the key's primary (what :meth:`route` returns);
+        the rest are its replica successors.  Reads are served by the
+        first live member; writes fan out to all of them.  Raises
+        :class:`ClusterError` when fewer than ``replicas`` distinct
+        shards survive the exclusion — silently returning a short
+        tuple would under-provide the key without anyone noticing.
+        """
+        if replicas < 1:
+            raise ClusterError("replicas must be >= 1")
         excluded = frozenset(exclude)
+        live = len(set(self.shard_ids) - excluded)
+        if live < replicas:
+            raise ClusterError(
+                f"cannot place {replicas} replicas on {live} live "
+                f"shard(s) ({len(self.shard_ids)} total, "
+                f"{len(excluded & set(self.shard_ids))} excluded)")
         points = self._points
         start = bisect.bisect_left(self._hashes, _point(f"page:{page}"))
+        chosen: List[int] = []
         for offset in range(len(points)):
             position = (start + offset) % len(points)
             shard_id = points[position][1]
-            if shard_id not in excluded:
-                return shard_id
-        raise ValueError("every shard is excluded; nowhere to route")
+            if shard_id in excluded or shard_id in chosen:
+                continue
+            chosen.append(shard_id)
+            if len(chosen) == replicas:
+                return tuple(chosen)
+        raise ClusterError(  # pragma: no cover - guarded by `live` above
+            f"ring walk exhausted before placing {replicas} replicas")

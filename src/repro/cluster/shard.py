@@ -5,7 +5,7 @@ disk) driven by the same event-loop machinery as
 :mod:`repro.sim.concurrent`, but open-loop: arrivals come at absolute
 instants from the front-end's traffic plan instead of being pulled by
 freed window slots.  On top of the outstanding-request window the shard
-adds the two cluster behaviours:
+adds the cluster behaviours:
 
 * **admission control** — when the window is full a request waits in a
   FIFO host queue; when that queue reaches ``shed_queue`` the request is
@@ -17,23 +17,38 @@ adds the two cluster behaviours:
   trips the cache into its bypass state (``retire_on_degraded`` with a
   PR-1 fault ladder or PR-6 reliability model attached).  Arrivals after
   retirement are returned to the orchestrator as *redirects* for the
-  survivors.
+  survivors.  In-flight *reads* lost to a scripted kill are additionally
+  reported with their loss bucket (``inflight_reads``) so the
+  orchestrator can retry them on a surviving replica when the key is
+  replicated (R > 1) — the read's data exists elsewhere, only this
+  connection died;
+* **repair** — a previously killed shard re-admitted at
+  ``rejoin_at_us`` runs as a fresh *incarnation* (cold device, new
+  derived seeds) whose stream starts at the rejoin instant.  Its
+  catch-up is driven by ``sync_arrivals``: background anti-entropy ops
+  (writes on the rejoiner warming the moved keys back in, paired source
+  reads on the neighbours that held them) that occupy window slots —
+  delaying foreground traffic exactly like the PR-7 state/timing split
+  charges GC — but never shed and never count in the foreground
+  accounting identity.
 
 Determinism: :func:`run_shard` is a module-level pure function of its
 picklable arguments (simlint SIM004), so it fans out through
 :func:`repro.parallel.sweep` with byte-identical results at any worker
 count.  Every per-shard RNG stream is derived via
-:func:`repro.parallel.derive_seed`.
+:func:`repro.parallel.derive_seed` (incarnations derive distinct
+streams: a repaired device is new hardware).
 
-Accounting invariant, asserted at the end of every run::
+Accounting invariants, asserted at the end of every run::
 
-    arrivals == completed + shed + lost + redirected
+    arrivals      == completed + shed + lost + redirected
+    sync_arrived  == sync_completed + sync_lost + sync_skipped
 """
 
 from __future__ import annotations
 
 from collections import deque
-from typing import Any, Deque, Dict, List, Optional, Sequence
+from typing import Any, Deque, Dict, List, Optional, Sequence, Tuple, cast
 
 from ..core.hierarchy import build_flash_system, FlashBackedSystem, \
     PendingRequest
@@ -54,20 +69,28 @@ class _ShardEngine:
     Handlers take simulated time only from ``loop.now_us`` (simlint
     SIM010); ties resolve in posting order.  Arrivals chain: each ARRIVE
     handler posts the next arrival at its absolute instant, so the heap
-    holds one future arrival at a time.
+    holds one future arrival at a time (the sync stream chains the same
+    way through SYNC events).
     """
 
     def __init__(self, system: FlashBackedSystem,
                  arrivals: Sequence[Arrival], queue_depth: int,
                  config: ChannelConfig, shed_queue: int,
                  fail_at_us: Optional[float], retire_on_degraded: bool,
-                 bucket_us: float) -> None:
+                 bucket_us: float,
+                 sync_arrivals: Sequence[Arrival] = (),
+                 rejoin_at_us: Optional[float] = None,
+                 shard_id: int = 0,
+                 telemetry: Optional[Telemetry] = None) -> None:
         self.system = system
         self.queue_depth = queue_depth
         self.shed_queue = shed_queue
         self.fail_at_us = fail_at_us
         self.retire_on_degraded = retire_on_degraded
         self.bucket_us = bucket_us
+        self.rejoin_at_us = rejoin_at_us
+        self.shard_id = shard_id
+        self.telemetry = telemetry
         self.loop = EventLoop()
         self.scheduler = NandScheduler(config)
         self.response = LatencyHistogram("response_us")
@@ -81,13 +104,24 @@ class _ShardEngine:
         self.completed = 0
         self.shed = 0
         self.lost = 0
+        self.lost_reads = 0
+        self.lost_writes = 0
         self.redirects: List[Arrival] = []
+        #: In-flight reads lost to the scripted kill, with the bucket
+        #: their loss was charged to — the orchestrator may reclassify
+        #: them as replica retries when R > 1.
+        self.inflight_reads: List[Tuple[Arrival, int]] = []
         #: Simulated instant the shard left the cluster, if it did.
         self.retired_at_us: Optional[float] = None
         self.channel_stalls = 0
         self.gc_events = 0
         self.scrub_events = 0
+        self.sync_arrived = 0
+        self.sync_completed = 0
+        self.sync_lost = 0
+        self.sync_skipped = 0
         self._source = iter(arrivals)
+        self._sync_source = iter(sync_arrivals)
         self._last_scrub_passes = self._scrub_passes()
         #: Per-time-bucket rows: [arrivals, completed, shed, lost,
         #: redirected, response_sum_us, response_max_us].
@@ -99,6 +133,8 @@ class _ShardEngine:
         loop.register(EventType.COMPLETE, self._on_complete)
         loop.register(EventType.GC, self._on_gc)
         loop.register(EventType.SCRUB, self._on_scrub)
+        loop.register(EventType.SYNC, self._on_sync)
+        loop.register(EventType.REJOIN, self._on_rejoin)
 
     def _scrub_passes(self) -> int:
         scrubber = getattr(self.system, "scrubber", None)
@@ -115,6 +151,11 @@ class _ShardEngine:
         arrival = next(self._source, None)
         if arrival is not None:
             self.loop.post_at(arrival[0], Event(EventType.ARRIVE, arrival))
+
+    def _post_next_sync(self) -> None:
+        arrival = next(self._sync_source, None)
+        if arrival is not None:
+            self.loop.post_at(arrival[0], Event(EventType.SYNC, arrival))
 
     # -- event handlers ------------------------------------------------------
 
@@ -141,7 +182,27 @@ class _ShardEngine:
             self._admit(arrival, now_us)
         self._post_next_arrival()
 
-    def _admit(self, arrival: Arrival, now_us: float) -> None:
+    def _on_sync(self, event: Event) -> None:
+        arrival: Arrival = event.payload
+        self.sync_arrived += 1
+        if self.retired_at_us is not None:
+            # A sync source that has itself left the cluster cannot
+            # stream pages; the orchestrator's plan was optimistic.
+            self.sync_skipped += 1
+        else:
+            self._admit(arrival, self.loop.now_us, background=True)
+            telemetry = self.telemetry
+            if telemetry is not None:
+                telemetry.sync_page(arrival[2], arrival[3])
+        self._post_next_sync()
+
+    def _on_rejoin(self, event: Event) -> None:
+        telemetry = self.telemetry
+        if telemetry is not None:
+            telemetry.rejoin(self.shard_id, self.loop.now_us)
+
+    def _admit(self, arrival: Arrival, now_us: float,
+               background: bool = False) -> None:
         _, _, page, is_read = arrival
         loop = self.loop
         system = self.system
@@ -153,6 +214,7 @@ class _ShardEngine:
         else:
             pending = system.submit_write(page)
         pending.arrive_us = now_us
+        pending.context = (arrival, background)
         self.position += 1
         sampler = self.sampler
         if sampler is not None and self.position >= sampler.next_at:
@@ -171,7 +233,8 @@ class _ShardEngine:
             self.wait.append(pending)
         # Graceful degradation may have tripped while serving this very
         # request; admitted work completes, later arrivals redirect.
-        if (self.retire_on_degraded and self.retired_at_us is None
+        if (not background and self.retire_on_degraded
+                and self.retired_at_us is None
                 and self.system.flash.degraded):
             self.retired_at_us = now_us
 
@@ -202,23 +265,39 @@ class _ShardEngine:
         now_us = loop.now_us
         pending.finish_us = now_us
         self.system.complete_request(pending)
-        bucket = self._bucket(now_us)
-        if self.fail_at_us is not None and now_us > self.fail_at_us:
-            # In flight when the shard died: the work happened, the
-            # response never left the building.
-            self.lost += 1
-            bucket[3] += 1
+        arrival, background = cast(Tuple[Arrival, bool], pending.context)
+        if background:
+            if self.fail_at_us is not None and now_us > self.fail_at_us:
+                self.sync_lost += 1
+            else:
+                self.sync_completed += 1
         else:
-            self.completed += 1
-            response_us = now_us - pending.arrive_us
-            self.response.observe(response_us)
-            self.queue_delay.observe(response_us - pending.service_us
-                                     - self.system.config.cpu_us_per_request)
-            self.service_latency.observe(pending.service_us)
-            bucket[1] += 1
-            bucket[5] += response_us
-            if response_us > bucket[6]:
-                bucket[6] = response_us
+            bucket = self._bucket(now_us)
+            if self.fail_at_us is not None and now_us > self.fail_at_us:
+                # In flight when the shard died: the work happened, the
+                # response never left the building.  A lost *read* is
+                # recoverable on another replica — report it with its
+                # loss bucket so the orchestrator can retry it there.
+                self.lost += 1
+                bucket[3] += 1
+                if pending.is_read:
+                    self.lost_reads += 1
+                    self.inflight_reads.append(
+                        (arrival, int(now_us // self.bucket_us)))
+                else:
+                    self.lost_writes += 1
+            else:
+                self.completed += 1
+                response_us = now_us - pending.arrive_us
+                self.response.observe(response_us)
+                self.queue_delay.observe(
+                    response_us - pending.service_us
+                    - self.system.config.cpu_us_per_request)
+                self.service_latency.observe(pending.service_us)
+                bucket[1] += 1
+                bucket[5] += response_us
+                if response_us > bucket[6]:
+                    bucket[6] = response_us
         self.slots -= 1
         if self.wait:
             # The freed slot picks up the oldest waiter; it pays the
@@ -237,7 +316,11 @@ class _ShardEngine:
 
     def run(self) -> float:
         """Chain arrivals through the loop; returns the makespan (us)."""
+        if self.rejoin_at_us is not None:
+            self.loop.post_at(self.rejoin_at_us,
+                              Event(EventType.REJOIN, self.shard_id))
         self._post_next_arrival()
+        self._post_next_sync()
         loop_end_us = self.loop.run()
         horizon_us = self.scheduler.horizon_us()
         span_us = loop_end_us if loop_end_us >= horizon_us else horizon_us
@@ -252,6 +335,13 @@ class _ShardEngine:
                 f"shard accounting drift: {self.arrived} arrivals vs "
                 f"{self.completed} completed + {self.shed} shed + "
                 f"{self.lost} lost + {len(self.redirects)} redirected")
+        sync_accounted = (self.sync_completed + self.sync_lost
+                         + self.sync_skipped)
+        if sync_accounted != self.sync_arrived:
+            raise RuntimeError(
+                f"shard sync accounting drift: {self.sync_arrived} sync "
+                f"arrivals vs {self.sync_completed} completed + "
+                f"{self.sync_lost} lost + {self.sync_skipped} skipped")
         return span_us
 
 
@@ -260,31 +350,43 @@ def run_shard(shard_id: int, arrivals: List[Arrival], dram_bytes: int,
               planes: int, shed_queue: int, fail_at_us: Optional[float],
               retire_on_degraded: bool, fault_rate: float,
               reliability_rate: float, bucket_us: float,
-              sample_interval: int, seed: int) -> Dict[str, Any]:
+              sample_interval: int, seed: int,
+              sync_arrivals: Optional[List[Arrival]] = None,
+              rejoin_at_us: Optional[float] = None,
+              incarnation: int = 0) -> Dict[str, Any]:
     """Simulate one shard's run; the cluster sweep's worker entry point.
 
     Returns a picklable outcome dict: request accounting, latency
-    histograms, per-time-bucket rows, redirected arrivals (for the
-    orchestrator's failover stage), device-health stats, and the shard's
+    histograms, per-time-bucket rows, redirected arrivals and lost
+    in-flight reads (for the orchestrator's failover stages),
+    device-health stats, and the shard's
     :class:`~repro.telemetry.Telemetry` handle (event-bus metrics plus
     :class:`~repro.telemetry.TraceSampler` health series).
+
+    ``incarnation`` numbers repeated runs of the same shard id: a
+    repaired shard re-admitted at ``rejoin_at_us`` is incarnation 1,
+    built on freshly derived seed streams (new hardware), optionally
+    warmed by ``sync_arrivals`` catch-up traffic.
     """
     if queue_depth < 1:
         raise ValueError("queue_depth must be >= 1")
     if shed_queue < 1:
         raise ValueError("shed_queue must be >= 1")
+    generation = "" if incarnation == 0 else f":r{incarnation}"
     fault_config = None
     if fault_rate > 0.0:
         fault_config = FaultConfig.uniform(
-            fault_rate, seed=derive_seed(seed, f"shard:{shard_id}:faults"))
+            fault_rate,
+            seed=derive_seed(seed, f"shard:{shard_id}{generation}:faults"))
     reliability_config = None
     if reliability_rate > 0.0:
         reliability_config = ReliabilityConfig.uniform(
             reliability_rate,
-            seed=derive_seed(seed, f"shard:{shard_id}:reliability"))
+            seed=derive_seed(seed,
+                             f"shard:{shard_id}{generation}:reliability"))
     system = build_flash_system(
         dram_bytes=dram_bytes, flash_bytes=flash_bytes,
-        seed=derive_seed(seed, f"shard:{shard_id}:device"),
+        seed=derive_seed(seed, f"shard:{shard_id}{generation}:device"),
         fault_config=fault_config,
         reliability_config=reliability_config,
     )
@@ -293,7 +395,9 @@ def run_shard(shard_id: int, arrivals: List[Arrival], dram_bytes: int,
     engine = _ShardEngine(system, arrivals, queue_depth,
                           ChannelConfig(channels=channels, planes=planes),
                           shed_queue, fail_at_us, retire_on_degraded,
-                          bucket_us)
+                          bucket_us, sync_arrivals=sync_arrivals or (),
+                          rejoin_at_us=rejoin_at_us, shard_id=shard_id,
+                          telemetry=telemetry)
     engine.sampler = TraceSampler(telemetry, system,
                                   interval=sample_interval)
     span_us = engine.run()
@@ -306,13 +410,22 @@ def run_shard(shard_id: int, arrivals: List[Arrival], dram_bytes: int,
     controller_stats = flash.controller.stats
     return {
         "shard_id": shard_id,
+        "incarnation": incarnation,
         "arrivals": engine.arrived,
         "completed": engine.completed,
         "shed": engine.shed,
         "lost": engine.lost,
+        "lost_reads": engine.lost_reads,
+        "lost_writes": engine.lost_writes,
         "redirected": len(engine.redirects),
         "redirects": engine.redirects,
+        "inflight_reads": engine.inflight_reads,
         "retired_at_us": engine.retired_at_us,
+        "rejoined_at_us": rejoin_at_us,
+        "sync_arrived": engine.sync_arrived,
+        "sync_completed": engine.sync_completed,
+        "sync_lost": engine.sync_lost,
+        "sync_skipped": engine.sync_skipped,
         "span_us": span_us,
         "response": engine.response,
         "queue_delay": engine.queue_delay,

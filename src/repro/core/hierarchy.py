@@ -134,6 +134,10 @@ class PendingRequest:
     arrive_us: float = 0.0
     dispatch_us: float = 0.0
     finish_us: float = 0.0
+    #: Opaque engine bookkeeping slot (the cluster engine parks the
+    #: originating arrival tuple here so a request in flight when its
+    #: shard dies can be retried on a surviving replica).
+    context: Optional[object] = None
 
     @property
     def queue_delay_us(self) -> float:

@@ -45,6 +45,7 @@ from . import (
     fig13_error_regimes,
     fig14_concurrency,
     fig15_cluster,
+    fig16_availability,
 )
 from .report import ReportScale
 
@@ -205,6 +206,15 @@ def _fig15_combine(results: Sequence[SweepResult]) -> Any:
     return fig15_cluster.as_rows(fig15_cluster.combine(results))
 
 
+def _fig16_build(scale: ReportScale) -> List[SweepTask]:
+    return fig16_availability.tasks(
+        duration_s=0.25 if scale.scale_divisor > 64 else 0.4)
+
+
+def _fig16_combine(results: Sequence[SweepResult]) -> Any:
+    return fig16_availability.as_rows(fig16_availability.combine(results))
+
+
 SWEEPS: Dict[str, SweepSpec] = {
     "fig1b": SweepSpec("fig1b", "GC overhead vs occupancy",
                        _fig1b_build, _fig1b_combine),
@@ -231,6 +241,9 @@ SWEEPS: Dict[str, SweepSpec] = {
     "fig15": SweepSpec("fig15", "cluster capacity and tail latency vs "
                        "shards x arrival rate",
                        _fig15_build, _fig15_combine),
+    "fig16": SweepSpec("fig16", "cluster availability vs replication "
+                       "under kill/cascade/repair chaos",
+                       _fig16_build, _fig16_combine),
 }
 
 

@@ -117,7 +117,7 @@ class FaultInjector:
     and infant-mortality state.
     """
 
-    def __init__(self, config: FaultConfig | None = None):
+    def __init__(self, config: FaultConfig | None = None) -> None:
         self.config = config or FaultConfig()
         self.stats = FaultStats()
         seed = self.config.seed

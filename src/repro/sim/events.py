@@ -19,7 +19,11 @@ Event types are the fixed vocabulary of the concurrent engine
   had to stall (payload carries the channel and the wait);
 * ``COMPLETE`` — a request finished; its window slot frees;
 * ``GC``       — background garbage-collection work was generated;
-* ``SCRUB``    — background retention-scrub work was generated.
+* ``SCRUB``    — background retention-scrub work was generated;
+* ``REJOIN``   — a repaired cluster shard re-entered the ring
+  (:mod:`repro.cluster.shard`, repair/re-admission);
+* ``SYNC``     — one anti-entropy catch-up op (a sync write on the
+  rejoining shard, or the paired source read on a neighbour).
 """
 
 from __future__ import annotations
@@ -41,6 +45,8 @@ class EventType(Enum):
     COMPLETE = "complete"
     GC = "gc"
     SCRUB = "scrub"
+    REJOIN = "rejoin"
+    SYNC = "sync"
 
 
 @dataclass

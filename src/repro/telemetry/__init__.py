@@ -206,6 +206,21 @@ class Telemetry:
         self._c_retired.inc()
         self._publish(EventKind.RETIRE, "flash", value=float(block))
 
+    # -- cluster repair --------------------------------------------------------
+    # Cold paths (a handful of calls per run): a repaired shard coming
+    # back into the ring, and its anti-entropy catch-up traffic.
+
+    def rejoin(self, shard_id: int, at_us: float) -> None:
+        self.metrics.counter("cluster.rejoins").inc()
+        self._publish(EventKind.REJOIN, "cluster", latency_us=at_us,
+                      value=float(shard_id))
+
+    def sync_page(self, page: int, is_read: bool) -> None:
+        self.metrics.counter("cluster.sync_reads" if is_read
+                             else "cluster.sync_writes").inc()
+        self._publish(EventKind.SYNC, "cluster", value=float(page),
+                      detail="read" if is_read else "write")
+
     # -- Flash disk cache ------------------------------------------------------
     # The cache's hit/miss/write hooks exist for event subscribers; their
     # counters duplicate ``CacheStats`` exactly, so the call sites skip the

@@ -31,7 +31,9 @@ class EventKind(enum.Enum):
     ``FAULT`` is any hardware fault surfacing (uncorrectable read,
     program/erase status failure); ``RETIRE`` is a block leaving service
     permanently; ``DEGRADE`` is the cache dropping to the DRAM+disk
-    bypass; ``SCRUB`` is one background retention-scrub pass.
+    bypass; ``SCRUB`` is one background retention-scrub pass;
+    ``REJOIN`` is a repaired cluster shard re-entering the ring; ``SYNC``
+    is one anti-entropy catch-up page moving back to a rejoined shard.
     """
 
     READ = "read"
@@ -44,6 +46,8 @@ class EventKind(enum.Enum):
     RETIRE = "retire"
     DEGRADE = "degrade"
     SCRUB = "scrub"
+    REJOIN = "rejoin"
+    SYNC = "sync"
 
 
 @dataclass(frozen=True)

@@ -3,14 +3,21 @@
 Covers DESIGN.md section 15's contracts:
 
 * the consistent-hash ring is deterministic, balanced-ish, and minimal
-  on exclusion (only the excluded shard's keys move);
+  on exclusion (only the excluded shard's keys move) — and its replica
+  walk places R distinct shards or raises the typed
+  :class:`ClusterError`, never under-provides silently;
 * open-loop arrival plans are seeded, time-sorted, and shaped by their
   intensity profile;
 * a fixed-seed cluster run — feed included — is byte-identical at any
-  worker layout (the acceptance criterion of ISSUE 8);
+  worker layout (the acceptance criterion of ISSUE 8), including under
+  cascades, replication, and repair (ISSUE 10);
 * killing a shard mid-run keeps the survivors serving with bounded p99
   and zero lost-request accounting drift, and an aged shard retiring
   organically hands its tail traffic to the survivors;
+* at R > 1, reads in flight on a dying shard are retried on a
+  surviving replica (zero lost reads), a same-instant double kill runs
+  as one stage, a later kill cascades, and a repaired shard rejoins
+  with a minimal-move catch-up sync of exactly its own keys;
 * admission control sheds rather than growing the backlog without
   bound, and the asyncio serving shell streams orchestration events
   without perturbing the result.
@@ -24,9 +31,13 @@ import pytest
 
 from repro.cluster import (
     ARRIVAL_PATTERNS,
+    ChaosSchedule,
+    ClusterError,
     ClusterScenario,
     ClusterService,
     HashRing,
+    KillSpec,
+    RejoinSpec,
     build_arrivals,
     feed_lines,
     run_cluster,
@@ -72,6 +83,51 @@ class TestHashRing:
         with pytest.raises(ValueError):
             ring.route(123, exclude=(0, 1))
 
+    def test_all_excluded_raises_typed_cluster_error(self):
+        # Regression (ISSUE 10): the exhausted walk must raise the
+        # *typed* ClusterError (a ValueError subclass), not loop or
+        # fall through to an untyped failure.
+        ring = HashRing(range(3))
+        with pytest.raises(ClusterError):
+            ring.route(123, exclude=(0, 1, 2))
+        with pytest.raises(ClusterError):
+            ring.route(123, exclude=range(100))
+        assert issubclass(ClusterError, ValueError)
+
+    def test_route_replicas_distinct_and_primary_first(self):
+        ring = HashRing(range(5))
+        for page in range(512):
+            replicas = ring.route_replicas(page, 3)
+            assert len(set(replicas)) == 3
+            assert replicas[0] == ring.route(page)
+        # R == fleet size: every shard appears exactly once.
+        assert sorted(ring.route_replicas(77, 5)) == list(range(5))
+
+    def test_route_replicas_overflow_raises_instead_of_short_tuple(self):
+        ring = HashRing(range(3))
+        with pytest.raises(ClusterError):
+            ring.route_replicas(1, 4)
+        with pytest.raises(ClusterError):
+            ring.route_replicas(1, 3, exclude=(0,))
+        with pytest.raises(ClusterError):
+            ring.route_replicas(1, 0)
+
+    def test_route_replicas_minimal_move_on_exclusion(self):
+        # Excluding one shard only touches replica sets it was in, and
+        # the surviving members keep their walk order — the failover
+        # property repair relies on in reverse.
+        ring = HashRing(range(5))
+        for page in range(1024):
+            home = ring.route_replicas(page, 2)
+            moved = ring.route_replicas(page, 2, exclude=(3,))
+            if 3 not in home:
+                assert moved == home
+            else:
+                assert 3 not in moved
+                survivors = [shard for shard in home if shard != 3]
+                assert [shard for shard in moved
+                        if shard in survivors] == survivors
+
 
 class TestArrivals:
     def test_patterns_are_seeded_and_sorted(self):
@@ -113,6 +169,55 @@ class TestArrivals:
         assert arrivals == build_arrivals("steady", 2000.0, 0.25,
                                           "specweb99",
                                           footprint_pages=4096, seed=7)
+
+
+class TestChaosSchedule:
+    def test_validation_rejects_malformed_timelines(self):
+        with pytest.raises(ClusterError):
+            ChaosSchedule(kills=(KillSpec(1, 10.0), KillSpec(1, 20.0)))
+        with pytest.raises(ClusterError):
+            ChaosSchedule(kills=(KillSpec(1, -5.0),))
+        with pytest.raises(ClusterError):
+            ChaosSchedule(rejoins=(RejoinSpec(1, 50.0),))
+        with pytest.raises(ClusterError):
+            ChaosSchedule(kills=(KillSpec(1, 50.0),),
+                          rejoins=(RejoinSpec(1, 50.0),))
+
+    def test_dead_windows_and_rejoin(self):
+        chaos = ChaosSchedule(kills=(KillSpec(1, 100.0), KillSpec(2, 300.0)),
+                              rejoins=(RejoinSpec(1, 400.0),))
+        assert chaos.dead_at(0.0) == frozenset()
+        assert chaos.dead_at(100.0) == {1}
+        assert chaos.dead_at(300.0) == {1, 2}
+        assert chaos.dead_at(400.0) == {2}
+        assert chaos.kill_at(1) == 100.0
+        assert chaos.rejoin_at(1) == 400.0
+        assert chaos.rejoin_at(2) is None
+
+    def test_stages_group_same_instant_kills(self):
+        chaos = ChaosSchedule(kills=(KillSpec(3, 200.0), KillSpec(1, 100.0),
+                                     KillSpec(2, 100.0)))
+        assert chaos.stages() == [(100.0, (1, 2)), (200.0, (3,))]
+
+    def test_fleet_validation(self):
+        chaos = ChaosSchedule(kills=(KillSpec(5, 10.0),))
+        with pytest.raises(ClusterError):
+            chaos.validate_fleet(3)
+        everyone = ChaosSchedule(kills=(KillSpec(0, 10.0),
+                                        KillSpec(1, 20.0)))
+        with pytest.raises(ClusterError):
+            everyone.validate_fleet(2)
+
+    def test_sample_is_seeded_and_shaped(self):
+        one = ChaosSchedule.sample(4, 1.0, kills=2, repair=True, seed=9)
+        two = ChaosSchedule.sample(4, 1.0, kills=2, repair=True, seed=9)
+        assert one == two
+        assert one != ChaosSchedule.sample(4, 1.0, kills=2, repair=True,
+                                           seed=10)
+        instants = [kill.at_us for kill in one.kills]
+        assert instants == sorted(instants)
+        assert len(one.rejoins) == 1
+        assert one.rejoins[0].shard == one.kills[0].shard
 
 
 def _kill_scenario(**overrides):
@@ -192,6 +297,199 @@ class TestRunCluster:
             run_cluster(ClusterScenario(shards=2, kill_shard=5))
 
 
+class TestReplicationAndChaos:
+    def test_r2_sustains_zero_lost_reads_through_kill(self):
+        # The headline availability claim: at R=1 reads in flight on
+        # the dying shard are lost; at R=2 every one is reclassified as
+        # a replica retry and served by a surviving sibling.
+        r1 = run_cluster(_kill_scenario(replicas=1), workers=1)
+        r2 = run_cluster(_kill_scenario(replicas=2), workers=1)
+        assert r1.lost_reads > 0
+        assert r1.lost == r1.lost_reads + r1.lost_writes
+        assert r2.lost_reads == 0
+        # Each retried read shows up as a redirect instead.
+        assert r2.redirected >= r1.lost_reads
+
+    def test_write_fanout_accounting_identity(self):
+        scenario = ClusterScenario(shards=3, rate_rps=4000.0,
+                                   duration_s=0.2, seed=7,
+                                   footprint_pages=4096, replicas=2,
+                                   workload="dbt2")
+        result = run_cluster(scenario, workers=1)
+        # planned_ops counts one op per read and one per replica per
+        # write, so with write traffic it strictly exceeds requests.
+        assert result.arrivals > result.requests
+        assert result.completed + result.shed + result.lost == \
+            result.arrivals
+
+    def test_replicas_validation(self):
+        with pytest.raises(ClusterError):
+            run_cluster(ClusterScenario(shards=2, replicas=3))
+        with pytest.raises(ClusterError):
+            run_cluster(ClusterScenario(shards=3, replicas=0))
+        # R=3 with one of three shards scripted to die cannot keep
+        # three live replicas through the outage.
+        with pytest.raises(ClusterError):
+            run_cluster(_kill_scenario(replicas=3))
+
+    def test_simultaneous_double_kill_runs_as_one_stage(self):
+        scenario = _kill_scenario(shards=4, replicas=2,
+                                  cascade=((2, 150_000.0),))
+        events = []
+        result = serve(scenario, workers=2, on_event=events.append)
+        stages = [(event["stage"], event["shards"]) for event in events
+                  if event["kind"] == "stage"]
+        assert stages == [("kill@150000us", [1, 2]),
+                          ("serving", [0, 3])]
+        for shard_id in (1, 2):
+            summary = next(s for s in result.shards
+                           if s["shard_id"] == shard_id)
+            assert summary["retired_at_us"] == 150_000.0
+        assert result.completed + result.shed + result.lost == \
+            result.arrivals
+        assert feed_lines(result) == \
+            feed_lines(run_cluster(scenario, workers=1))
+
+    def test_survivor_cascade_staged_and_deterministic(self):
+        scenario = _kill_scenario(shards=4, replicas=2,
+                                  kill_at_us=100_000.0,
+                                  cascade=((2, 200_000.0),))
+        events = []
+        result = serve(scenario, workers=3, on_event=events.append)
+        stages = [event["stage"] for event in events
+                  if event["kind"] == "stage"]
+        assert stages == ["kill@100000us", "kill@200000us", "serving"]
+        assert result.lost_reads == 0
+        assert result.completed + result.shed + result.lost == \
+            result.arrivals
+        assert feed_lines(result) == \
+            feed_lines(run_cluster(scenario, workers=1))
+
+    def test_kill_at_time_zero(self):
+        result = run_cluster(_kill_scenario(kill_at_us=0.0), workers=1)
+        killed = next(s for s in result.shards if s["shard_id"] == 1)
+        # Dead before the first arrival: the plan routes everything
+        # around it and the corpse serves nothing.
+        assert killed["arrivals"] == 0
+        assert killed["retired_at_us"] == 0.0
+        assert result.lost == 0
+        assert result.completed + result.shed == result.arrivals
+
+    def test_kill_after_horizon_changes_nothing(self):
+        late = run_cluster(_kill_scenario(kill_at_us=10_000_000.0),
+                           workers=1)
+        baseline = run_cluster(_kill_scenario(kill_shard=None,
+                                              kill_at_us=None), workers=1)
+        assert late.completed == baseline.completed
+        assert late.shed == baseline.shed
+        assert late.lost == 0
+        killed = next(s for s in late.shards if s["shard_id"] == 1)
+        assert killed["retired_at_us"] == 10_000_000.0
+
+    def test_scripted_kill_plus_organic_aging_still_accounts(self):
+        scenario = ClusterScenario(
+            shards=4, rate_rps=6000.0, duration_s=0.4, seed=11,
+            flash_bytes=2 << 20, dram_bytes=1 << 20,
+            footprint_pages=4096, replicas=2,
+            kill_shard=1, kill_at_us=150_000.0,
+            aged_shard=0, aged_fault_rate=0.9)
+        events = []
+        result = serve(scenario, workers=2, on_event=events.append)
+        stages = [event["stage"] for event in events
+                  if event["kind"] == "stage"]
+        assert stages == ["kill@150000us", "organic", "serving"]
+        assert result.completed + result.shed + result.lost == \
+            result.arrivals
+        assert feed_lines(result) == \
+            feed_lines(run_cluster(scenario, workers=1))
+
+
+def _repair_scenario(**overrides):
+    base = dict(shards=3, rate_rps=9000.0, duration_s=0.3, seed=3,
+                queue_depth=4, shed_queue=16, footprint_pages=4096,
+                replicas=2, kill_shard=1, kill_at_us=120_000.0,
+                rejoin_at_us=240_000.0)
+    base.update(overrides)
+    return ClusterScenario(**base)
+
+
+class TestRepair:
+    def test_rejoin_runs_catch_up_sync(self):
+        result = run_cluster(_repair_scenario(), workers=1)
+        repaired = next(s for s in result.shards if s["shard_id"] == 1)
+        assert repaired["incarnations"] == 2
+        assert repaired["retired_at_us"] == 120_000.0
+        assert repaired["rejoined_at_us"] == 240_000.0
+        # Catch-up ran: the rejoiner wrote its moved keys back and the
+        # sources served the paired reads, outside the foreground
+        # accounting identity.
+        assert result.sync_arrived > 0
+        assert result.sync_arrived == (result.sync_completed
+                                       + result.sync_lost
+                                       + result.sync_skipped)
+        # Sync ops come in write/read pairs (one per side per page).
+        assert result.sync_arrived % 2 == 0
+        assert result.completed + result.shed + result.lost == \
+            result.arrivals
+        # Post-rejoin foreground traffic flows back to the repaired
+        # shard: its second incarnation served requests.
+        assert repaired["completed"] > 0
+
+    def test_rejoin_is_worker_layout_invariant(self):
+        scenario = _repair_scenario()
+        assert feed_lines(run_cluster(scenario, workers=1)) == \
+            feed_lines(run_cluster(scenario, workers=3))
+
+    def test_sync_moves_only_the_rejoiners_keys(self):
+        # Minimal-move: every page in the catch-up stream would have
+        # lived on the rejoiner had it been up, and every planned sync
+        # write lands on the rejoined incarnation alone.
+        from repro.cluster.cluster import _Planner, _plan_sync
+        from repro.cluster.arrivals import build_arrivals as build
+
+        scenario = _repair_scenario()
+        chaos = scenario.chaos()
+        planner = _Planner(scenario, chaos)
+        arrivals = build(scenario.pattern, scenario.rate_rps,
+                         scenario.duration_s, scenario.workload,
+                         scenario.footprint_pages, scenario.seed)
+        sync_streams = _plan_sync(planner, arrivals)
+        writes = [a for a in sync_streams[(1, 1)] if not a[3]]
+        assert writes
+        touched_in_window = {a[2] for a in arrivals
+                             if 120_000.0 <= a[0] < 240_000.0}
+        for _, _, page, _ in writes:
+            assert page in touched_in_window
+            # The key's healthy-fleet replica set includes the rejoiner.
+            assert 1 in planner.ring.route_replicas(
+                page, scenario.replicas)
+        # No other node receives sync writes — only paired reads.
+        for node, stream in sync_streams.items():
+            if node != (1, 1):
+                assert all(a[3] for a in stream)
+
+    def test_rejoin_needs_a_kill(self):
+        with pytest.raises(ClusterError):
+            run_cluster(ClusterScenario(shards=3, rejoin_at_us=10.0))
+        with pytest.raises(ClusterError):
+            run_cluster(_repair_scenario(rejoin_at_us=120_000.0))
+
+    def test_fig16_availability_rows(self):
+        from repro.experiments import fig16_availability
+
+        points = fig16_availability.run_availability_sweep(
+            replicas=(1, 2), shards=4, rate_rps=6000.0, duration_s=0.25,
+            footprint_pages=2048, workers=2)
+        assert [p.replicas for p in points] == [1, 2]
+        # The figure's acceptance shape: replication eliminates lost
+        # reads and repair streams keys back at both factors.
+        assert points[1].lost_reads == 0
+        assert all(p.sync_completed > 0 for p in points)
+        for point in points:
+            assert point.completed + point.shed + point.lost_reads \
+                + point.lost_writes == point.planned_ops
+
+
 class TestFeed:
     def test_jsonl_feed_shape(self, tmp_path):
         result = run_cluster(_kill_scenario(duration_s=0.2), workers=1)
@@ -227,7 +525,7 @@ class TestClusterService:
         assert "stage" in kinds and "shard" in kinds
         stages = [event["stage"] for event in events
                   if event["kind"] == "stage"]
-        assert stages == ["retirable", "serving"]
+        assert stages == ["kill@150000us", "serving"]
         shard_events = [event for event in events
                         if event["kind"] == "shard"]
         assert all(event["ok"] for event in shard_events)
